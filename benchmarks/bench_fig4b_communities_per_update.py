@@ -1,0 +1,26 @@
+"""Figure 4(b) — communities per update and associated ASes per update.
+
+Paper: 51 % of updates carry more than two communities, 0.06 % more than 50,
+and 41 % of tagged updates reference more than one AS.  Reproduced shape: a
+heavy-tailed per-update distribution where multi-community and multi-AS
+updates are common but >50-community updates are essentially absent.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.report import MeasurementReport
+from repro.measurement.usage import communities_per_update_ecdf
+
+
+def test_fig4b_communities_per_update(benchmark, bench_archive, bench_dataset):
+    distributions = benchmark(communities_per_update_ecdf, bench_archive)
+    report = MeasurementReport(bench_archive, bench_dataset.topology, bench_dataset.blackhole_list)
+    print()
+    print(report.figure4b().render())
+
+    assert distributions.fraction_with_more_than(0) > 0.5
+    assert distributions.fraction_with_more_than(2) > 0.05
+    assert distributions.fraction_with_more_than(50) < 0.005
+    assert distributions.fraction_with_multiple_asns() > 0.05
+    # More communities is strictly rarer (monotone survival function).
+    assert distributions.fraction_with_more_than(1) >= distributions.fraction_with_more_than(2)

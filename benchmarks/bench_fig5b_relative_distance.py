@@ -1,0 +1,30 @@
+"""Figure 5(b) — relative propagation distance by AS-path length.
+
+Paper: a significant number of communities travel more than 50 % of the
+AS-path distance, and the fraction travelling relatively far decreases
+somewhat as paths get longer (each AS on a long path can add short-lived
+communities).  Both properties are asserted on the reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.propagation import relative_distance_by_path_length
+from repro.measurement.report import MeasurementReport
+
+
+def test_fig5b_relative_distance(benchmark, bench_archive, bench_dataset):
+    per_length = benchmark(relative_distance_by_path_length, bench_archive)
+    report = MeasurementReport(bench_archive, bench_dataset.topology, bench_dataset.blackhole_list)
+    print()
+    print(report.figure5b().render())
+
+    assert per_length, "no path-length groups"
+    lengths = sorted(per_length)
+    # A significant fraction of communities travels more than half the path.
+    for length in lengths[:3]:
+        assert per_length[length].survival(0.5) > 0.2
+    # Longer paths see relatively shorter community travel (non-strict trend
+    # between the shortest and the longest observed group).
+    if len(lengths) >= 2:
+        shortest, longest = per_length[lengths[0]], per_length[lengths[-1]]
+        assert shortest.quantile(0.5) >= longest.quantile(0.5)

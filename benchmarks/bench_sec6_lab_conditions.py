@@ -1,0 +1,124 @@
+"""Section 6 — lab conditions and misconfiguration ablations.
+
+Reproduces the laboratory findings behaviourally:
+
+* Juniper propagates communities by default, Cisco only with
+  ``send-community`` configured (Section 6.1);
+* a single UPDATE can carry 16 K communities, Cisco adds at most 32 per
+  statement (Section 6.1);
+* the NANOG RTBH route-map accepts a hijacked /32 when the blackhole match
+  precedes validation, and rejects it when validation is fixed to come
+  first (Section 6.3);
+* blackhole precedence before best-path selection is what lets a longer,
+  tagged path win (Section 6.2) — ablated by disabling the local-pref
+  raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.rtbh import RtbhAttack
+from repro.attacks.scenario import ScenarioRoles, build_figure7_topology
+from repro.bgp.attributes import MAX_COMMUNITIES_PER_UPDATE, PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.exceptions import PolicyError
+from repro.policy.actions import BlackholeAction
+from repro.policy.route_map import nanog_rtbh_route_map
+from repro.policy.services import CommunityServiceCatalog, ServiceDefinition
+from repro.policy.vendor import CISCO_PROFILE, JUNIPER_PROFILE
+
+VICTIM = Prefix.from_string("203.0.113.0/24")
+
+
+def test_sec6_vendor_defaults(benchmark):
+    def check_defaults():
+        return (
+            JUNIPER_PROFILE.effective_send_communities(False),
+            CISCO_PROFILE.effective_send_communities(False),
+            CISCO_PROFILE.effective_send_communities(True),
+        )
+
+    juniper_default, cisco_default, cisco_configured = benchmark(check_defaults)
+    print()
+    print(f"JunOS sends communities by default:        {juniper_default}")
+    print(f"Cisco sends communities by default:        {cisco_default}")
+    print(f"Cisco with 'send-community' configured:    {cisco_configured}")
+    assert juniper_default and not cisco_default and cisco_configured
+
+
+def test_sec6_community_count_limits(benchmark):
+    def limits():
+        oversized = False
+        try:
+            CISCO_PROFILE.check_added_communities(33)
+        except PolicyError:
+            oversized = True
+        return MAX_COMMUNITIES_PER_UPDATE, oversized
+
+    max_per_update, cisco_rejects_33 = benchmark(limits)
+    print()
+    print(f"maximum communities per UPDATE:            {max_per_update}")
+    print(f"Cisco rejects adding 33 in one statement:  {cisco_rejects_33}")
+    assert max_per_update == 16384
+    assert cisco_rejects_33
+    # A prefix can actually carry a large number of communities.
+    many = CommunitySet(Community(asn, 1) for asn in range(1, 501))
+    assert len(PathAttributes(communities=many).communities) == 500
+
+
+def test_sec6_nanog_misconfiguration(benchmark):
+    blackholes = frozenset({Community(65535, 666)})
+    customers = (VICTIM,)
+    hijacked = Prefix.from_string("198.51.100.66/32")
+    tagged = PathAttributes(communities=CommunitySet.of("65535:666"))
+
+    def evaluate_both():
+        vulnerable = nanog_rtbh_route_map("rtbh", blackholes, customers)
+        fixed = nanog_rtbh_route_map("rtbh-fixed", blackholes, customers, validate_before_blackhole=True)
+        v = vulnerable.evaluate(hijacked, tagged)
+        f = fixed.evaluate(hijacked, tagged)
+        return v.permitted and v.blackholed, f.permitted and f.blackholed
+
+    vulnerable_accepts, fixed_accepts = benchmark(evaluate_both)
+    print()
+    print(f"published ordering accepts hijacked /32:   {vulnerable_accepts}")
+    print(f"validate-first ordering accepts it:        {fixed_accepts}")
+    assert vulnerable_accepts and not fixed_accepts
+
+
+def test_sec6_blackhole_precedence_ablation(benchmark):
+    """Without the local-pref raise, the longer tagged path loses and the attack fails."""
+
+    def run(with_precedence: bool) -> bool:
+        topology = build_figure7_topology()
+        if not with_precedence:
+            # Replace AS3's RTBH services with ones that do not raise local-pref.
+            services = CommunityServiceCatalog(
+                3,
+                [
+                    ServiceDefinition(
+                        Community(3, 666),
+                        BlackholeAction(raise_local_pref_to=None),
+                        "RTBH without precedence",
+                        customers_only=False,
+                    )
+                ],
+            )
+            topology.get_as(3).services = services
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=3)
+        attack = RtbhAttack(
+            topology, roles, VICTIM, use_hijack=False,
+            blackhole_community=Community(3, 666),
+        )
+        result = attack.run(vantage_points=[4])
+        return 3 in result.blackholed_at
+
+    with_precedence = benchmark.pedantic(run, args=(True,), rounds=2, iterations=1)
+    without_precedence = run(False)
+    print()
+    print(f"target drops traffic with RTBH precedence:     {with_precedence}")
+    print(f"target drops traffic without RTBH precedence:  {without_precedence}")
+    assert with_precedence
+    assert not without_precedence

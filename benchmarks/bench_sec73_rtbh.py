@@ -1,0 +1,49 @@
+"""Section 7.3 — remotely triggered blackholing in the wild.
+
+Paper: the /24 tagged with the target's blackhole community was accepted,
+the next hop at the target changed to a null interface, and the prefix
+became unreachable from the Atlas probes; the hijack variant additionally
+required an IRR update.  Both variants are reproduced over the generated
+Internet, from PEERING (non-hijack) and the research network (hijack).
+"""
+
+from __future__ import annotations
+
+from repro.bgp.prefix import Prefix
+from repro.wild.experiments import RtbhWildExperiment
+
+
+def test_sec73_rtbh_without_hijack(benchmark, wild_environment):
+    experiment = RtbhWildExperiment(
+        wild_environment["topology"], wild_environment["peering"], wild_environment["atlas"]
+    )
+    result = benchmark.pedantic(experiment.run, kwargs={"use_hijack": False}, rounds=2, iterations=1)
+    print()
+    print(f"target AS{result.target_asn} at {result.target_hops_from_injection} hops; "
+          f"looking glass next-hop: {result.target_next_hop}")
+    print(f"probes reachable before/after: {result.probes_reachable_before} / "
+          f"{result.probes_reachable_after}; lost: {len(result.probes_lost)}")
+    assert result.target_hops_from_injection >= 2
+    assert result.accepted_at_target
+    assert result.succeeded
+    assert result.probes_reachable_after < result.probes_reachable_before
+    assert not result.irr_updated
+
+
+def test_sec73_rtbh_with_hijack(benchmark, wild_environment):
+    experiment = RtbhWildExperiment(
+        wild_environment["topology"], wild_environment["research"], wild_environment["atlas"]
+    )
+    hijack_space = Prefix.from_string("100.100.0.0/22")
+    result = benchmark.pedantic(
+        experiment.run,
+        kwargs={"use_hijack": True, "hijack_space": hijack_space},
+        rounds=2,
+        iterations=1,
+    )
+    print()
+    print(f"hijacked prefix {result.attack_prefix}; IRR updated first: {result.irr_updated}")
+    print(f"probes lost: {len(result.probes_lost)}; succeeded: {result.succeeded}")
+    assert result.hijack
+    assert result.irr_updated  # the IRR hurdle the paper describes
+    assert result.succeeded

@@ -1,0 +1,34 @@
+"""Section 7.5 — route manipulation at an IXP route server.
+
+Paper: before the attack the prefix is visible at the attackee member;
+after sending the conflicting announce/suppress communities it is not,
+because the route server evaluates "do not announce to peer" before
+"announce to peer".  The benchmark reproduces the attack and its ablation
+(flipping the evaluation order defeats it).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.manipulation import RouteManipulationAttack
+from repro.attacks.scenario import ScenarioRoles, build_figure9_ixp
+from repro.bgp.prefix import Prefix
+
+VICTIM = Prefix.from_string("203.0.113.0/24")
+
+
+def _run(suppress_first: bool):
+    topology, ixp = build_figure9_ixp(member_count=8)
+    ixp.route_server_config.suppress_before_redistribute = suppress_first
+    roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=ixp.route_server_asn)
+    attack = RouteManipulationAttack(topology, ixp, roles, VICTIM, victim_member_asn=4)
+    return attack.run()
+
+
+def test_sec75_route_manipulation(benchmark):
+    result = benchmark.pedantic(_run, args=(True,), rounds=5, iterations=1)
+    flipped = _run(False)
+    print()
+    print(f"suppress-before-redistribute: route withdrawn from AS4 = {result.route_withdrawn}")
+    print(f"redistribute-before-suppress: route withdrawn from AS4 = {flipped.route_withdrawn}")
+    assert result.succeeded and result.route_withdrawn
+    assert not flipped.succeeded

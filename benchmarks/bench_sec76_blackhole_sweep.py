@@ -1,0 +1,49 @@
+"""Section 7.6 — the automated blackhole-community sweep.
+
+Paper: sweeping 307 verified blackhole communities with 200 Atlas probes,
+25 communities (8.1 %) caused at least one previously responsive probe to
+go dark, affecting 48 probes (24 %); a re-run two days later matched
+exactly; and most affected community/path pairs did *not* have the
+community's target AS as a direct peer of the injection point.
+
+On the scaled-down Internet the affected *fractions* are higher (the
+injection platform's upstream cone covers a larger share of the transit
+core), so the benchmark asserts the qualitative structure: some but not all
+communities induce blackholing, a minority-to-majority of probes is
+affected, the confirmation pass is identical, and multi-hop / off-path
+target placements occur alongside direct-peer ones.
+"""
+
+from __future__ import annotations
+
+from repro.wild.blackhole_sweep import BlackholeSweep
+
+
+def test_sec76_blackhole_sweep(benchmark, wild_environment):
+    sweep = BlackholeSweep(
+        wild_environment["topology"],
+        wild_environment["peering"],
+        wild_environment["atlas"],
+        wild_environment["blackhole_list"],
+    )
+    result = benchmark.pedantic(sweep.run, kwargs={"confirm": True}, rounds=1, iterations=1)
+
+    effective = result.effective_communities()
+    print()
+    print(f"communities swept:       {len(result.outcomes)}")
+    print(f"inducing blackholing:    {len(effective)} ({result.effective_fraction():.1%})")
+    print(f"vantage points affected: {len(result.affected_probes())} of {result.probe_count} "
+          f"({result.affected_probe_fraction():.1%})")
+    print(f"confirmation identical:  {result.confirmed}")
+    print(f"target placement: {result.direct_peer_pairs()} direct-peer, "
+          f"{result.multi_hop_pairs()} multi-hop, {result.offpath_pairs()} off-path")
+    print("paper: 25/307 communities (8.1%), 48/200 probes (24%), confirmation matched")
+
+    assert len(result.outcomes) > 5
+    assert effective
+    # On the scaled-down Internet most verified communities sit on some probe's
+    # path, so the effective fraction is much higher than the paper's 8.1 %;
+    # the probe-level impact stays partial, as in the paper.
+    assert 0.0 < result.affected_probe_fraction() < 1.0
+    assert result.confirmed
+    assert result.multi_hop_pairs() + result.offpath_pairs() > 0

@@ -1,0 +1,29 @@
+"""Table 1 — BGP dataset overview per collector platform.
+
+Paper (April 2018, Total row): 38.98 B messages, 967,499 IPv4 prefixes,
+84,953 IPv6 prefixes, 194 collectors, 2,133 AS peers, 63,797 communities,
+62,681 ASes (15,578 transit / 47,103 stub).  Our synthetic Internet is
+orders of magnitude smaller; the row structure, the IPv4 ≫ IPv6 split and
+the transit ≪ stub split are the reproduced shape.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.report import MeasurementReport
+from repro.measurement.usage import dataset_overview
+
+
+def test_table1_dataset_overview(benchmark, bench_archive, bench_dataset):
+    rows = benchmark(dataset_overview, bench_archive, bench_dataset.topology)
+    report = MeasurementReport(bench_archive, bench_dataset.topology, bench_dataset.blackhole_list)
+    print()
+    print(report.table1().render())
+
+    total = rows[-1]
+    assert total.platform == "Total"
+    assert {row.platform for row in rows[:-1]} == {"RIS", "RV", "IS", "PCH"}
+    # Shape checks mirroring the paper's Table 1.
+    assert total.ipv4_prefixes > total.ipv6_prefixes
+    assert total.stub_ases > total.transit_ases
+    assert total.communities > 500
+    assert total.messages == len(bench_archive)

@@ -1,0 +1,27 @@
+"""Table 3 — feasibility of the attacks in the wild.
+
+Paper: blackholing is *easy* with and without hijacking; traffic steering
+(local-pref and prepending) is *hard* because providers only act on
+communities from customers; route manipulation is *medium* (needs the
+route-server evaluation order).  All six scenario variants are executed on
+their canonical topologies and graded by the gates encountered.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.feasibility import Difficulty, build_feasibility_matrix
+
+
+def test_table3_feasibility(benchmark):
+    matrix = benchmark.pedantic(build_feasibility_matrix, rounds=3, iterations=1)
+    print()
+    print(matrix.to_table().render())
+
+    assert all(row.succeeded for row in matrix.rows)
+    assert matrix.difficulty_of("Blackholing", False) == Difficulty.EASY
+    assert matrix.difficulty_of("Blackholing", True) == Difficulty.EASY
+    assert matrix.difficulty_of("Traffic steering (local pref)", False) == Difficulty.HARD
+    assert matrix.difficulty_of("Traffic steering (local pref)", True) == Difficulty.HARD
+    assert matrix.difficulty_of("Traffic steering (path prepending)", False) == Difficulty.HARD
+    assert matrix.difficulty_of("Route manipulation", False) == Difficulty.MEDIUM
+    assert matrix.difficulty_of("Route manipulation", True) == Difficulty.MEDIUM

@@ -1,0 +1,75 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper and
+prints the reproduced rows (so they can be compared side by side with the
+published ones) while pytest-benchmark times the analysis step itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectors.platform import CollectorDeployment
+from repro.datasets.giotsas import build_blackhole_list
+from repro.datasets.synthetic import DatasetParameters, SyntheticDatasetBuilder
+from repro.probing.atlas import AtlasPlatform
+from repro.topology.generator import TopologyGenerator, TopologyParameters
+from repro.wild.peering import attach_peering_testbed, attach_research_network
+
+BENCH_PARAMETERS = TopologyParameters(
+    tier1_count=3,
+    transit_count=25,
+    stub_count=110,
+    ixp_count=3,
+    seed=42,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_topology():
+    """The topology every measurement benchmark runs over."""
+    return TopologyGenerator(BENCH_PARAMETERS).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_deployment(bench_topology):
+    """The collector deployment used by the measurement benchmarks."""
+    return CollectorDeployment.default_deployment(bench_topology, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_topology, bench_deployment):
+    """The synthetic April-2018-style dataset (built once per benchmark session)."""
+    builder = SyntheticDatasetBuilder(
+        bench_topology, bench_deployment, DatasetParameters(seed=2018)
+    )
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def bench_archive(bench_dataset):
+    """The observation archive of the benchmark dataset."""
+    return bench_dataset.archive
+
+
+@pytest.fixture(scope="session")
+def wild_environment():
+    """A separate topology with injection platforms and Atlas probes (Section 7)."""
+    topology = TopologyGenerator(
+        TopologyParameters(tier1_count=3, transit_count=22, stub_count=70, seed=11)
+    ).generate()
+    peering = attach_peering_testbed(topology, upstream_count=10)
+    research = attach_research_network(topology)
+    atlas = AtlasPlatform.deploy(
+        topology, probe_count=120, exclude_asns={peering.asn, research.asn}
+    )
+    blackhole_list = build_blackhole_list(topology, seed=11)
+    deployment = CollectorDeployment.default_deployment(topology, seed=3)
+    return {
+        "topology": topology,
+        "peering": peering,
+        "research": research,
+        "atlas": atlas,
+        "blackhole_list": blackhole_list,
+        "deployment": deployment,
+    }

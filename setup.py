@@ -1,0 +1,20 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this file
+directly (legacy editable install); PEP 517 front-ends read
+``pyproject.toml`` instead.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'BGP Communities: Even more Worms in the Routing Can' (IMC 2018)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro-bgp=repro.cli:main"]},
+)

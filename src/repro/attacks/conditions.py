@@ -1,0 +1,115 @@
+"""Necessary and sufficient conditions for community-based attacks (Section 5.4).
+
+* **Necessary**: communities must propagate beyond a single AS along the
+  path from the attacker to the community target, and the target's
+  community service must be known (documented).
+* **Sufficient**: the attacker must be able to advertise the prefix with
+  the appropriate communities (or hijack it), and *every* AS on the path
+  from the attacker to the community target must forward the community.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community, CommunitySet
+from repro.policy.community_policy import PropagationBehavior
+from repro.topology.graph import shortest_valley_free_path
+from repro.topology.topology import Topology
+
+
+@dataclass
+class ConditionReport:
+    """The result of checking the conditions for one attacker/target pair."""
+
+    holds: bool
+    reasons: list[str] = field(default_factory=list)
+    path: list[int] | None = None
+
+    def explain(self) -> str:
+        """Human-readable explanation."""
+        status = "holds" if self.holds else "does NOT hold"
+        return f"condition {status}: " + "; ".join(self.reasons)
+
+
+def community_propagation_path(
+    topology: Topology, attacker_asn: int, target_asn: int, community: Community
+) -> ConditionReport:
+    """Check whether a community attached by the attacker reaches the target.
+
+    Uses the valley-free path an announcement originated at the attacker
+    would take to the target and verifies each intermediate AS forwards
+    foreign communities (per its propagation policy).
+    """
+    path = shortest_valley_free_path(topology, target_asn, attacker_asn)
+    if path is None:
+        return ConditionReport(False, [f"no valley-free path from AS{attacker_asn} to AS{target_asn}"])
+    # path is observed at target: [target, ..., attacker]; the community must
+    # survive every export between the attacker and the target, i.e. at every
+    # intermediate AS (and the attacker itself must send it).
+    intermediates = path[1:-1]
+    reasons: list[str] = [f"announcement path AS{' AS'.join(str(a) for a in reversed(path))}"]
+    for asn in intermediates:
+        asys = topology.get_as(asn)
+        policy = asys.propagation_policy
+        if policy is None:
+            continue
+        carried = CommunitySet.of(community)
+        exported = policy.outbound_communities(carried, asn, target_asn)
+        if community not in exported:
+            reasons.append(
+                f"AS{asn} ({policy.behavior.value}) strips the community"
+            )
+            return ConditionReport(False, reasons, path=list(reversed(path)))
+    reasons.append("every intermediate AS forwards the community")
+    return ConditionReport(True, reasons, path=list(reversed(path)))
+
+
+def check_necessary_condition(
+    topology: Topology, attacker_asn: int, target_asn: int
+) -> ConditionReport:
+    """Check the paper's necessary condition for attacker/target.
+
+    Communities must be able to propagate beyond one AS towards the
+    target, and the target must have a documented community service.
+    """
+    target = topology.get_as(target_asn)
+    reasons: list[str] = []
+    if target.services is None or len(target.services) == 0:
+        return ConditionReport(False, [f"AS{target_asn} documents no community services"])
+    reasons.append(f"AS{target_asn} documents {len(target.services)} community services")
+    probe = Community(target_asn if target_asn <= 0xFFFF else 0, 1)
+    propagation = community_propagation_path(topology, attacker_asn, target_asn, probe)
+    reasons.extend(propagation.reasons)
+    if not propagation.holds:
+        return ConditionReport(False, reasons, path=propagation.path)
+    if propagation.path is not None and len(propagation.path) <= 2:
+        reasons.append(
+            "attacker and target are direct neighbors (propagation beyond one AS not required)"
+        )
+    return ConditionReport(True, reasons, path=propagation.path)
+
+
+def check_sufficient_condition(
+    topology: Topology,
+    attacker_asn: int,
+    target_asn: int,
+    community: Community,
+    requires_hijack: bool = False,
+    attacker_can_hijack: bool = True,
+) -> ConditionReport:
+    """Check the paper's sufficient condition.
+
+    The attacker must be able to advertise BGP prefixes with the
+    appropriate communities (always true for an AS with BGP sessions)
+    or, for hijack variants, be able to announce a prefix it does not
+    own; the community must survive every hop to the target.
+    """
+    reasons: list[str] = []
+    if requires_hijack and not attacker_can_hijack:
+        return ConditionReport(False, ["attacker cannot inject hijacked prefixes"])
+    if requires_hijack:
+        reasons.append("attacker can inject hijacked prefixes")
+    propagation = community_propagation_path(topology, attacker_asn, target_asn, community)
+    reasons.extend(propagation.reasons)
+    return ConditionReport(propagation.holds, reasons, path=propagation.path)

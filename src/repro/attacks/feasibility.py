@@ -1,0 +1,205 @@
+"""The Table 3 feasibility matrix: every scenario, with and without hijacking.
+
+Each scenario is actually executed on its canonical topology; the
+difficulty grade is then derived from the gates the attacker had to pass
+(business-relationship checks, IRR/origin validation, knowledge of the
+route-server evaluation order, prefix-length limits), mirroring the
+insights column of the paper's Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.attacks.manipulation import RouteManipulationAttack
+from repro.attacks.rtbh import RtbhAttack
+from repro.attacks.scenario import (
+    ScenarioRoles,
+    build_figure2_topology,
+    build_figure7_topology,
+    build_figure8b_topology,
+    build_figure9_ixp,
+)
+from repro.attacks.steering import LocalPrefSteeringAttack, PrependSteeringAttack
+from repro.bgp.prefix import Prefix
+from repro.utils.tables import Table
+
+
+class Difficulty(str, Enum):
+    """The paper's three difficulty grades."""
+
+    EASY = "easy"
+    MEDIUM = "medium"
+    HARD = "hard"
+
+
+#: Gates an attacker may have to pass; each contributes to the difficulty.
+GATE_DESCRIPTIONS = {
+    "prefix_length": "allowed prefix length is checked",
+    "rtbh_activation": "activation of the RTBH service is typically required",
+    "business_relationship": (
+        "the business relationship of the attacker with the attackee or transit networks is "
+        "checked - providers only act on communities set by their customers"
+    ),
+    "irr_validation": "IRR records for origin validation are typically checked, but the check can be circumvented",
+    "evaluation_order": "requires inference of the community evaluation order when it is not public",
+    "low_evaluation_order": "AS path prepending has typically low evaluation order, thus the attack may not succeed",
+}
+
+
+@dataclass
+class FeasibilityRow:
+    """One row of Table 3."""
+
+    scenario: str
+    hijack: bool
+    succeeded: bool
+    difficulty: Difficulty
+    gates: list[str] = field(default_factory=list)
+
+    def insights(self) -> str:
+        """The insight text assembled from the gates encountered."""
+        return "; ".join(GATE_DESCRIPTIONS[g] for g in self.gates)
+
+
+@dataclass
+class FeasibilityMatrix:
+    """The full Table 3."""
+
+    rows: list[FeasibilityRow] = field(default_factory=list)
+
+    def to_table(self) -> Table:
+        """Render as an ASCII table."""
+        table = Table(
+            ["Scenario", "Hijack", "Succeeded", "Difficulty", "Insights"],
+            title="Table 3: attack feasibility in the wild",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.scenario,
+                    "yes" if row.hijack else "no",
+                    "yes" if row.succeeded else "no",
+                    row.difficulty.value,
+                    row.insights(),
+                ]
+            )
+        return table
+
+    def difficulty_of(self, scenario: str, hijack: bool) -> Difficulty:
+        """Look up the difficulty of one scenario variant."""
+        for row in self.rows:
+            if row.scenario == scenario and row.hijack == hijack:
+                return row.difficulty
+        raise KeyError(f"no row for {scenario} hijack={hijack}")
+
+
+def _grade(gates: list[str]) -> Difficulty:
+    """Map the gate list to a difficulty grade like the paper's Table 3."""
+    if "business_relationship" in gates or "low_evaluation_order" in gates:
+        return Difficulty.HARD
+    if "evaluation_order" in gates:
+        return Difficulty.MEDIUM
+    return Difficulty.EASY
+
+
+def build_feasibility_matrix() -> FeasibilityMatrix:
+    """Run every scenario variant and assemble Table 3."""
+    matrix = FeasibilityMatrix()
+
+    # ----------------------------------------------------------- blackholing
+    for hijack in (False, True):
+        topology = build_figure7_topology()
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=3)
+        attack = RtbhAttack(
+            topology,
+            roles,
+            victim_prefix=Prefix.from_string("203.0.113.0/24"),
+            use_hijack=hijack,
+        )
+        result = attack.run()
+        gates = ["prefix_length", "rtbh_activation"]
+        if hijack:
+            gates.append("irr_validation")
+        matrix.rows.append(
+            FeasibilityRow(
+                scenario="Blackholing",
+                hijack=hijack,
+                succeeded=result.succeeded,
+                difficulty=_grade([g for g in gates if g not in ("irr_validation",)]),
+                gates=gates,
+            )
+        )
+
+    # --------------------------------------------- traffic steering: local pref
+    for hijack in (False, True):
+        topology = build_figure8b_topology()
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=5, community_target_asn=1)
+        attack = LocalPrefSteeringAttack(
+            topology, roles, victim_prefix=Prefix.from_string("198.18.0.0/24")
+        )
+        result = attack.run()
+        gates = ["business_relationship"]
+        if hijack:
+            gates.append("irr_validation")
+        matrix.rows.append(
+            FeasibilityRow(
+                scenario="Traffic steering (local pref)",
+                hijack=hijack,
+                succeeded=result.succeeded,
+                difficulty=_grade(gates),
+                gates=gates,
+            )
+        )
+
+    # ------------------------------------------ traffic steering: prepending
+    for hijack in (False, True):
+        topology = build_figure2_topology()
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=3)
+        attack = PrependSteeringAttack(
+            topology,
+            roles,
+            victim_prefix=Prefix.from_string("198.51.100.0/24"),
+            observer_asn=6,
+            use_hijack=hijack,
+        )
+        result = attack.run()
+        gates = ["business_relationship", "low_evaluation_order"]
+        if hijack:
+            gates.append("irr_validation")
+        matrix.rows.append(
+            FeasibilityRow(
+                scenario="Traffic steering (path prepending)",
+                hijack=hijack,
+                succeeded=result.succeeded,
+                difficulty=_grade(gates),
+                gates=gates,
+            )
+        )
+
+    # -------------------------------------------------------- route manipulation
+    for hijack in (False, True):
+        topology, ixp = build_figure9_ixp()
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=ixp.route_server_asn)
+        attack = RouteManipulationAttack(
+            topology,
+            ixp,
+            roles,
+            victim_prefix=Prefix.from_string("203.0.113.0/24"),
+            victim_member_asn=4,
+        )
+        result = attack.run()
+        gates = ["evaluation_order"]
+        if hijack:
+            gates.append("irr_validation")
+        matrix.rows.append(
+            FeasibilityRow(
+                scenario="Route manipulation",
+                hijack=hijack,
+                succeeded=result.succeeded,
+                difficulty=_grade(gates),
+                gates=gates,
+            )
+        )
+    return matrix

@@ -1,0 +1,108 @@
+"""BGP path attributes carried alongside an announcement.
+
+:class:`PathAttributes` bundles the attributes the simulator and the
+measurement pipeline care about: ORIGIN, AS_PATH, NEXT_HOP, MED,
+LOCAL_PREF, COMMUNITIES and LARGE_COMMUNITIES.  Instances are
+immutable; the policy engine produces modified copies via
+:meth:`PathAttributes.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclass_replace
+from enum import IntEnum
+from typing import Iterable
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.exceptions import AttributeError_
+
+#: Default LOCAL_PREF applied when a neighbor does not set one (common vendor default).
+DEFAULT_LOCAL_PREF = 100
+
+#: Upper bound on communities a single Cisco configuration statement may add
+#: (Section 6.1 of the paper).
+CISCO_MAX_ADDED_COMMUNITIES = 32
+
+#: Maximum number of communities a single UPDATE can carry: the attribute
+#: length field is 16 bits and each community is 4 bytes (Section 6.1).
+MAX_COMMUNITIES_PER_UPDATE = (1 << 16) // 4
+
+
+class Origin(IntEnum):
+    """ORIGIN attribute values (RFC 4271)."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class AttributeTypeCode(IntEnum):
+    """Path-attribute type codes used by the wire codec."""
+
+    ORIGIN = 1
+    AS_PATH = 2
+    NEXT_HOP = 3
+    MULTI_EXIT_DISC = 4
+    LOCAL_PREF = 5
+    ATOMIC_AGGREGATE = 6
+    AGGREGATOR = 7
+    COMMUNITIES = 8
+    LARGE_COMMUNITIES = 32
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The mutable-by-copy attribute bundle attached to an announcement."""
+
+    as_path: ASPath = field(default_factory=ASPath)
+    origin: Origin = Origin.IGP
+    next_hop: int = 0
+    med: int | None = None
+    local_pref: int | None = None
+    communities: CommunitySet = field(default_factory=CommunitySet)
+    large_communities: tuple[LargeCommunity, ...] = ()
+    atomic_aggregate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.med is not None and not 0 <= self.med <= 0xFFFFFFFF:
+            raise AttributeError_(f"MED {self.med} out of 32-bit range")
+        if self.local_pref is not None and not 0 <= self.local_pref <= 0xFFFFFFFF:
+            raise AttributeError_(f"LOCAL_PREF {self.local_pref} out of 32-bit range")
+        if len(self.communities) > MAX_COMMUNITIES_PER_UPDATE:
+            raise AttributeError_(
+                f"{len(self.communities)} communities exceed the per-update maximum "
+                f"of {MAX_COMMUNITIES_PER_UPDATE}"
+            )
+
+    def replace(self, **changes) -> "PathAttributes":
+        """Return a copy with the given fields replaced."""
+        return dataclass_replace(self, **changes)
+
+    def effective_local_pref(self) -> int:
+        """Return LOCAL_PREF, substituting the conventional default of 100."""
+        return self.local_pref if self.local_pref is not None else DEFAULT_LOCAL_PREF
+
+    def with_communities_added(self, communities: Iterable[Community | str | int]) -> "PathAttributes":
+        """Return a copy with communities added (additive semantics)."""
+        return self.replace(communities=self.communities.add(*communities))
+
+    def with_communities_removed(self, communities: Iterable[Community | str | int]) -> "PathAttributes":
+        """Return a copy with the given communities removed."""
+        return self.replace(communities=self.communities.remove(*communities))
+
+    def with_communities_set(self, communities: Iterable[Community | str | int]) -> "PathAttributes":
+        """Return a copy with the community set replaced entirely."""
+        return self.replace(communities=CommunitySet.of(*communities))
+
+    def without_communities(self) -> "PathAttributes":
+        """Return a copy with all communities stripped."""
+        return self.replace(communities=CommunitySet())
+
+    def with_prepend(self, asn: int, count: int) -> "PathAttributes":
+        """Return a copy with ``asn`` prepended ``count`` extra times."""
+        return self.replace(as_path=self.as_path.prepend(asn, count))
+
+    def path_length(self) -> int:
+        """AS_PATH length used by the decision process."""
+        return self.as_path.length()

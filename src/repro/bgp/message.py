@@ -1,0 +1,315 @@
+"""BGP UPDATE message wire encoding and decoding (RFC 4271 + RFC 1997 + RFC 8092).
+
+The MRT writer embeds full BGP UPDATE messages inside BGP4MP records,
+and the MRT reader decodes them back; this module implements that wire
+format.  Only the attributes the study needs are given first-class
+treatment; unrecognised attributes round-trip as opaque bytes so no
+information is silently dropped.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
+from repro.bgp.attributes import AttributeTypeCode, Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.bgp.prefix import AddressFamily, Prefix
+from repro.exceptions import MessageError
+
+#: BGP message header marker: 16 bytes of 0xFF.
+BGP_MARKER = b"\xff" * 16
+BGP_HEADER_LENGTH = 19
+BGP_MAX_MESSAGE_LENGTH = 4096
+
+#: BGP message types.
+MESSAGE_TYPE_OPEN = 1
+MESSAGE_TYPE_UPDATE = 2
+MESSAGE_TYPE_NOTIFICATION = 3
+MESSAGE_TYPE_KEEPALIVE = 4
+
+#: Attribute flag bits.
+FLAG_OPTIONAL = 0x80
+FLAG_TRANSITIVE = 0x40
+FLAG_PARTIAL = 0x20
+FLAG_EXTENDED_LENGTH = 0x10
+
+
+@dataclass
+class BgpUpdate:
+    """A decoded BGP UPDATE: withdrawn prefixes, attributes, announced prefixes."""
+
+    announced: list[Prefix] = field(default_factory=list)
+    withdrawn: list[Prefix] = field(default_factory=list)
+    attributes: PathAttributes = field(default_factory=PathAttributes)
+    unknown_attributes: list[tuple[int, int, bytes]] = field(default_factory=list)
+
+    def is_withdrawal_only(self) -> bool:
+        """True if the update withdraws prefixes and announces none."""
+        return bool(self.withdrawn) and not self.announced
+
+
+def _encode_prefix_nlri(prefix: Prefix) -> bytes:
+    """Encode one prefix in NLRI form: length byte + minimal network bytes."""
+    byte_count = (prefix.length + 7) // 8
+    bits = prefix.family.bits
+    network_bytes = prefix.network.to_bytes(bits // 8, "big")[:byte_count]
+    return bytes([prefix.length]) + network_bytes
+
+
+def _decode_prefix_nlri(data: bytes, offset: int, family: AddressFamily) -> tuple[Prefix, int]:
+    """Decode one NLRI-form prefix starting at ``offset``; return (prefix, new offset)."""
+    if offset >= len(data):
+        raise MessageError("truncated NLRI: missing length byte")
+    length = data[offset]
+    offset += 1
+    byte_count = (length + 7) // 8
+    if offset + byte_count > len(data):
+        raise MessageError("truncated NLRI: missing prefix bytes")
+    raw = data[offset:offset + byte_count]
+    offset += byte_count
+    total_bytes = family.bits // 8
+    padded = raw + b"\x00" * (total_bytes - byte_count)
+    network = int.from_bytes(padded, "big")
+    return Prefix(family, network, length), offset
+
+
+def _encode_attribute(type_code: int, flags: int, payload: bytes) -> bytes:
+    """Encode one path attribute with automatic extended-length handling."""
+    if len(payload) > 0xFFFF:
+        raise MessageError(f"attribute {type_code} payload too long ({len(payload)} bytes)")
+    if len(payload) > 0xFF:
+        flags |= FLAG_EXTENDED_LENGTH
+        header = struct.pack("!BBH", flags, type_code, len(payload))
+    else:
+        flags &= ~FLAG_EXTENDED_LENGTH
+        header = struct.pack("!BBB", flags, type_code, len(payload))
+    return header + payload
+
+
+def _encode_as_path(as_path: ASPath, as4: bool = True) -> bytes:
+    """Encode the AS_PATH attribute payload (4-byte ASNs by default)."""
+    fmt = "!I" if as4 else "!H"
+    payload = b""
+    for segment in as_path.segments:
+        asns = segment.asns
+        # A segment can hold at most 255 ASNs; split longer sequences.
+        for start in range(0, len(asns), 255):
+            chunk = asns[start:start + 255]
+            payload += struct.pack("!BB", int(segment.segment_type), len(chunk))
+            for asn in chunk:
+                if not as4 and asn > 0xFFFF:
+                    raise MessageError(f"ASN {asn} does not fit in a 2-byte AS_PATH")
+                payload += struct.pack(fmt, asn)
+    return payload
+
+
+def _decode_as_path(payload: bytes, as4: bool = True) -> ASPath:
+    """Decode an AS_PATH attribute payload."""
+    width = 4 if as4 else 2
+    fmt = "!I" if as4 else "!H"
+    segments: list[ASPathSegment] = []
+    offset = 0
+    while offset < len(payload):
+        if offset + 2 > len(payload):
+            raise MessageError("truncated AS_PATH segment header")
+        segment_type, count = payload[offset], payload[offset + 1]
+        offset += 2
+        needed = count * width
+        if offset + needed > len(payload):
+            raise MessageError("truncated AS_PATH segment body")
+        asns = tuple(
+            struct.unpack(fmt, payload[offset + i * width:offset + (i + 1) * width])[0]
+            for i in range(count)
+        )
+        offset += needed
+        try:
+            seg_type = SegmentType(segment_type)
+        except ValueError as exc:
+            raise MessageError(f"unknown AS_PATH segment type {segment_type}") from exc
+        segments.append(ASPathSegment(seg_type, asns))
+    return ASPath(segments)
+
+
+def encode_update(update: BgpUpdate, family: AddressFamily = AddressFamily.IPV4) -> bytes:
+    """Encode a :class:`BgpUpdate` into a full BGP message (header included)."""
+    withdrawn_bytes = b"".join(_encode_prefix_nlri(p) for p in update.withdrawn)
+    attrs = update.attributes
+    attribute_bytes = b""
+    if update.announced:
+        attribute_bytes += _encode_attribute(
+            AttributeTypeCode.ORIGIN, FLAG_TRANSITIVE, bytes([int(attrs.origin)])
+        )
+        attribute_bytes += _encode_attribute(
+            AttributeTypeCode.AS_PATH, FLAG_TRANSITIVE, _encode_as_path(attrs.as_path)
+        )
+        attribute_bytes += _encode_attribute(
+            AttributeTypeCode.NEXT_HOP,
+            FLAG_TRANSITIVE,
+            struct.pack("!I", attrs.next_hop & 0xFFFFFFFF),
+        )
+        if attrs.med is not None:
+            attribute_bytes += _encode_attribute(
+                AttributeTypeCode.MULTI_EXIT_DISC, FLAG_OPTIONAL, struct.pack("!I", attrs.med)
+            )
+        if attrs.local_pref is not None:
+            attribute_bytes += _encode_attribute(
+                AttributeTypeCode.LOCAL_PREF, FLAG_TRANSITIVE, struct.pack("!I", attrs.local_pref)
+            )
+        if attrs.atomic_aggregate:
+            attribute_bytes += _encode_attribute(
+                AttributeTypeCode.ATOMIC_AGGREGATE, FLAG_TRANSITIVE, b""
+            )
+        if attrs.communities:
+            payload = b"".join(struct.pack("!I", c.to_int()) for c in attrs.communities)
+            attribute_bytes += _encode_attribute(
+                AttributeTypeCode.COMMUNITIES, FLAG_OPTIONAL | FLAG_TRANSITIVE, payload
+            )
+        if attrs.large_communities:
+            payload = b"".join(
+                struct.pack("!III", lc.global_admin, lc.local_data1, lc.local_data2)
+                for lc in sorted(attrs.large_communities)
+            )
+            attribute_bytes += _encode_attribute(
+                AttributeTypeCode.LARGE_COMMUNITIES, FLAG_OPTIONAL | FLAG_TRANSITIVE, payload
+            )
+    for type_code, flags, payload in update.unknown_attributes:
+        attribute_bytes += _encode_attribute(type_code, flags, payload)
+
+    nlri_bytes = b"".join(_encode_prefix_nlri(p) for p in update.announced)
+    body = (
+        struct.pack("!H", len(withdrawn_bytes))
+        + withdrawn_bytes
+        + struct.pack("!H", len(attribute_bytes))
+        + attribute_bytes
+        + nlri_bytes
+    )
+    total_length = BGP_HEADER_LENGTH + len(body)
+    if total_length > BGP_MAX_MESSAGE_LENGTH:
+        raise MessageError(f"encoded UPDATE is {total_length} bytes (max {BGP_MAX_MESSAGE_LENGTH})")
+    header = BGP_MARKER + struct.pack("!HB", total_length, MESSAGE_TYPE_UPDATE)
+    return header + body
+
+
+def decode_update(data: bytes, family: AddressFamily = AddressFamily.IPV4) -> BgpUpdate:
+    """Decode a full BGP UPDATE message (header included) into a :class:`BgpUpdate`."""
+    if len(data) < BGP_HEADER_LENGTH:
+        raise MessageError(f"message too short ({len(data)} bytes) for a BGP header")
+    marker, length, message_type = data[:16], struct.unpack("!H", data[16:18])[0], data[18]
+    if marker != BGP_MARKER:
+        raise MessageError("invalid BGP marker")
+    if length != len(data):
+        raise MessageError(f"header length {length} does not match data length {len(data)}")
+    if message_type != MESSAGE_TYPE_UPDATE:
+        raise MessageError(f"not an UPDATE message (type {message_type})")
+
+    body = data[BGP_HEADER_LENGTH:]
+    if len(body) < 2:
+        raise MessageError("truncated UPDATE: missing withdrawn routes length")
+    withdrawn_length = struct.unpack("!H", body[:2])[0]
+    offset = 2
+    if offset + withdrawn_length > len(body):
+        raise MessageError("truncated UPDATE: withdrawn routes overflow")
+    withdrawn: list[Prefix] = []
+    end = offset + withdrawn_length
+    while offset < end:
+        prefix, offset = _decode_prefix_nlri(body, offset, family)
+        withdrawn.append(prefix)
+
+    if offset + 2 > len(body):
+        raise MessageError("truncated UPDATE: missing path attribute length")
+    attribute_length = struct.unpack("!H", body[offset:offset + 2])[0]
+    offset += 2
+    if offset + attribute_length > len(body):
+        raise MessageError("truncated UPDATE: path attributes overflow")
+    attribute_end = offset + attribute_length
+
+    origin = Origin.IGP
+    as_path = ASPath()
+    next_hop = 0
+    med: int | None = None
+    local_pref: int | None = None
+    atomic_aggregate = False
+    communities = CommunitySet()
+    large_communities: list[LargeCommunity] = []
+    unknown: list[tuple[int, int, bytes]] = []
+
+    while offset < attribute_end:
+        if offset + 2 > attribute_end:
+            raise MessageError("truncated path attribute header")
+        flags, type_code = body[offset], body[offset + 1]
+        offset += 2
+        if flags & FLAG_EXTENDED_LENGTH:
+            if offset + 2 > attribute_end:
+                raise MessageError("truncated extended attribute length")
+            attr_len = struct.unpack("!H", body[offset:offset + 2])[0]
+            offset += 2
+        else:
+            if offset + 1 > attribute_end:
+                raise MessageError("truncated attribute length")
+            attr_len = body[offset]
+            offset += 1
+        if offset + attr_len > attribute_end:
+            raise MessageError(f"attribute {type_code} overflows the attribute section")
+        payload = body[offset:offset + attr_len]
+        offset += attr_len
+
+        if type_code == AttributeTypeCode.ORIGIN:
+            if len(payload) != 1:
+                raise MessageError("ORIGIN attribute must be exactly 1 byte")
+            origin = Origin(payload[0])
+        elif type_code == AttributeTypeCode.AS_PATH:
+            as_path = _decode_as_path(payload)
+        elif type_code == AttributeTypeCode.NEXT_HOP:
+            if len(payload) != 4:
+                raise MessageError("NEXT_HOP attribute must be exactly 4 bytes")
+            next_hop = struct.unpack("!I", payload)[0]
+        elif type_code == AttributeTypeCode.MULTI_EXIT_DISC:
+            if len(payload) != 4:
+                raise MessageError("MED attribute must be exactly 4 bytes")
+            med = struct.unpack("!I", payload)[0]
+        elif type_code == AttributeTypeCode.LOCAL_PREF:
+            if len(payload) != 4:
+                raise MessageError("LOCAL_PREF attribute must be exactly 4 bytes")
+            local_pref = struct.unpack("!I", payload)[0]
+        elif type_code == AttributeTypeCode.ATOMIC_AGGREGATE:
+            atomic_aggregate = True
+        elif type_code == AttributeTypeCode.COMMUNITIES:
+            if len(payload) % 4 != 0:
+                raise MessageError("COMMUNITIES attribute length must be a multiple of 4")
+            values = [
+                Community.from_int(struct.unpack("!I", payload[i:i + 4])[0])
+                for i in range(0, len(payload), 4)
+            ]
+            communities = CommunitySet(values)
+        elif type_code == AttributeTypeCode.LARGE_COMMUNITIES:
+            if len(payload) % 12 != 0:
+                raise MessageError("LARGE_COMMUNITIES attribute length must be a multiple of 12")
+            for i in range(0, len(payload), 12):
+                a, b, c = struct.unpack("!III", payload[i:i + 12])
+                large_communities.append(LargeCommunity(a, b, c))
+        else:
+            unknown.append((type_code, flags, payload))
+
+    announced: list[Prefix] = []
+    while offset < len(body):
+        prefix, offset = _decode_prefix_nlri(body, offset, family)
+        announced.append(prefix)
+
+    attributes = PathAttributes(
+        as_path=as_path,
+        origin=origin,
+        next_hop=next_hop,
+        med=med,
+        local_pref=local_pref,
+        communities=communities,
+        large_communities=tuple(large_communities),
+        atomic_aggregate=atomic_aggregate,
+    )
+    return BgpUpdate(
+        announced=announced,
+        withdrawn=withdrawn,
+        attributes=attributes,
+        unknown_attributes=unknown,
+    )

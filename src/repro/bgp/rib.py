@@ -1,0 +1,149 @@
+"""Routing information bases: Adj-RIB-In, Loc-RIB, and snapshots.
+
+The per-AS router in :mod:`repro.routing.router` keeps one
+:class:`AdjRibIn` per neighbor and one :class:`LocRib` holding the
+selected best routes; :class:`RibSnapshot` is the read-only view the
+collectors and looking glasses expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import RouteEntry
+
+
+class AdjRibIn:
+    """Routes received from a single neighbor, keyed by prefix."""
+
+    def __init__(self, neighbor_asn: int):
+        self.neighbor_asn = neighbor_asn
+        self._routes: dict[Prefix, RouteEntry] = {}
+
+    def update(self, entry: RouteEntry) -> None:
+        """Insert or replace the route for the entry's prefix."""
+        self._routes[entry.prefix] = entry
+
+    def withdraw(self, prefix: Prefix) -> RouteEntry | None:
+        """Remove and return the route for ``prefix`` (None if absent)."""
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix: Prefix) -> RouteEntry | None:
+        """Return the route for ``prefix`` (None if absent)."""
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> list[Prefix]:
+        """Return all prefixes present."""
+        return list(self._routes)
+
+    def routes(self) -> list[RouteEntry]:
+        """Return all routes present."""
+        return list(self._routes.values())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes
+
+
+class LocRib:
+    """The selected (best) routes of one AS, keyed by prefix.
+
+    Multiple candidate routes per prefix are retained so looking glasses
+    can show alternatives; exactly one is flagged best.
+    """
+
+    def __init__(self):
+        self._candidates: dict[Prefix, list[RouteEntry]] = {}
+        self._best: dict[Prefix, RouteEntry] = {}
+
+    def set_candidates(self, prefix: Prefix, entries: Iterable[RouteEntry]) -> None:
+        """Replace the candidate list for ``prefix``."""
+        entries = list(entries)
+        if entries:
+            self._candidates[prefix] = entries
+        else:
+            self._candidates.pop(prefix, None)
+
+    def set_best(self, prefix: Prefix, entry: RouteEntry | None) -> None:
+        """Set (or clear, with None) the best route for ``prefix``."""
+        if entry is None:
+            self._best.pop(prefix, None)
+        else:
+            self._best[prefix] = entry.replace(best=True)
+
+    def best(self, prefix: Prefix) -> RouteEntry | None:
+        """Return the best route for exactly ``prefix`` (no longest-prefix match)."""
+        return self._best.get(prefix)
+
+    def candidates(self, prefix: Prefix) -> list[RouteEntry]:
+        """Return all candidate routes for ``prefix``."""
+        return list(self._candidates.get(prefix, ()))
+
+    def best_routes(self) -> list[RouteEntry]:
+        """Return the best route of every prefix."""
+        return list(self._best.values())
+
+    def prefixes(self) -> list[Prefix]:
+        """Return every prefix that has a best route."""
+        return list(self._best)
+
+    def lookup(self, address: int) -> RouteEntry | None:
+        """Longest-prefix-match lookup of an integer address among best routes."""
+        matches = [
+            entry
+            for prefix, entry in self._best.items()
+            if prefix.contains_address(address)
+        ]
+        if not matches:
+            return None
+        return max(matches, key=lambda entry: entry.prefix.length)
+
+    def remove(self, prefix: Prefix) -> None:
+        """Drop the prefix from both candidates and best."""
+        self._candidates.pop(prefix, None)
+        self._best.pop(prefix, None)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._best
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        return iter(self._best.values())
+
+
+@dataclass
+class RibSnapshot:
+    """A read-only copy of an AS's best routes, as a looking glass would show them."""
+
+    asn: int
+    entries: dict[Prefix, RouteEntry] = field(default_factory=dict)
+
+    @classmethod
+    def from_loc_rib(cls, asn: int, loc_rib: LocRib) -> "RibSnapshot":
+        """Capture the current best routes of ``loc_rib``."""
+        return cls(asn=asn, entries={e.prefix: e for e in loc_rib.best_routes()})
+
+    def get(self, prefix: Prefix) -> RouteEntry | None:
+        """Return the best route for exactly ``prefix``."""
+        return self.entries.get(prefix)
+
+    def covering(self, prefix: Prefix) -> list[RouteEntry]:
+        """Return routes whose prefix covers ``prefix`` (any specificity)."""
+        return [e for p, e in self.entries.items() if p.contains_prefix(prefix)]
+
+    def select(self, predicate: Callable[[RouteEntry], bool]) -> list[RouteEntry]:
+        """Return routes matching an arbitrary predicate."""
+        return [e for e in self.entries.values() if predicate(e)]
+
+    def prefixes(self) -> list[Prefix]:
+        """Return all prefixes in the snapshot."""
+        return list(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

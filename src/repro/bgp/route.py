@@ -1,0 +1,129 @@
+"""Announcements, withdrawals, and RIB entries.
+
+An :class:`Announcement` is the unit the routing simulator propagates
+and the unit the collectors record; a :class:`RouteEntry` is an
+announcement as stored in a RIB together with book-keeping about the
+neighbor it was learned from.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace as dataclass_replace
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import CommunitySet
+from repro.bgp.prefix import Prefix
+
+_announcement_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A BGP route announcement for one prefix.
+
+    ``sender_asn`` is the AS the announcement is arriving from (the
+    neighbor), ``origin_asn`` is the AS that originated the prefix.
+    ``timestamp`` is simulation time in seconds (not wall-clock).
+    """
+
+    prefix: Prefix
+    attributes: PathAttributes
+    sender_asn: int
+    origin_asn: int
+    timestamp: float = 0.0
+    announcement_id: int = field(default_factory=lambda: next(_announcement_counter))
+
+    @property
+    def as_path(self):
+        """Shortcut to the AS_PATH attribute."""
+        return self.attributes.as_path
+
+    @property
+    def communities(self) -> CommunitySet:
+        """Shortcut to the communities attribute."""
+        return self.attributes.communities
+
+    def replace(self, **changes) -> "Announcement":
+        """Return a copy with fields replaced (a fresh announcement id is kept)."""
+        return dataclass_replace(self, **changes)
+
+    def with_attributes(self, attributes: PathAttributes) -> "Announcement":
+        """Return a copy carrying different path attributes."""
+        return self.replace(attributes=attributes)
+
+    def is_more_specific_of(self, other: "Announcement") -> bool:
+        """True if this announcement's prefix is strictly more specific than ``other``'s."""
+        return (
+            other.prefix.contains_prefix(self.prefix)
+            and self.prefix.length > other.prefix.length
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.prefix} via AS{self.sender_asn} path [{self.attributes.as_path}] "
+            f"communities {self.attributes.communities}"
+        )
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """A BGP route withdrawal for one prefix."""
+
+    prefix: Prefix
+    sender_asn: int
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """A route stored in a RIB.
+
+    ``learned_from`` is the neighbor ASN (or the local ASN for
+    originated routes); ``blackholed`` marks routes whose next hop has
+    been rewritten to a discard (null) interface as the result of a
+    blackhole community.
+    """
+
+    prefix: Prefix
+    attributes: PathAttributes
+    learned_from: int
+    best: bool = False
+    blackholed: bool = False
+    rejected: bool = False
+    rejection_reason: str | None = None
+    #: Extra times the local ASN is prepended when this route is exported
+    #: (the effect of a path-prepending community acting at this AS).
+    export_prepend: int = 0
+    #: Neighbors this route must NOT be exported to (suppression communities).
+    suppress_to: frozenset[int] = frozenset()
+    #: If not None, the route may ONLY be exported to these neighbors.
+    announce_only_to: frozenset[int] | None = None
+
+    @property
+    def as_path(self):
+        """Shortcut to the AS_PATH attribute."""
+        return self.attributes.as_path
+
+    @property
+    def communities(self) -> CommunitySet:
+        """Shortcut to the communities attribute."""
+        return self.attributes.communities
+
+    def replace(self, **changes) -> "RouteEntry":
+        """Return a copy with fields replaced."""
+        return dataclass_replace(self, **changes)
+
+    def __str__(self) -> str:
+        flags = []
+        if self.best:
+            flags.append("best")
+        if self.blackholed:
+            flags.append("blackholed")
+        if self.rejected:
+            flags.append("rejected")
+        flag_text = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"{self.prefix} from AS{self.learned_from} path [{self.attributes.as_path}]"
+            f"{flag_text}"
+        )

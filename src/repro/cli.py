@@ -1,0 +1,154 @@
+"""Command-line interface: ``repro-bgp``.
+
+Sub-commands:
+
+* ``report``    — generate the synthetic dataset and print every Section 4
+  table/figure;
+* ``attacks``   — run the canonical attack scenarios and print Table 3;
+* ``sweep``     — run the Section 7.6 blackhole-community sweep;
+* ``propagation`` — run the Section 7.2 propagation check for both injection
+  platforms;
+* ``export-mrt`` — write the synthetic dataset to an MRT file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _build_dataset(seed: int, scale: str):
+    from repro.datasets.synthetic import DatasetParameters, build_default_dataset
+    from repro.topology.generator import TopologyGenerator, TopologyParameters
+
+    scales = {
+        "small": TopologyParameters(tier1_count=3, transit_count=20, stub_count=80, seed=seed),
+        "default": TopologyParameters(seed=seed),
+        "large": TopologyParameters(tier1_count=8, transit_count=120, stub_count=700, seed=seed),
+    }
+    topology = TopologyGenerator(scales[scale]).generate()
+    return build_default_dataset(topology, DatasetParameters(seed=seed))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.measurement.report import MeasurementReport
+
+    dataset = _build_dataset(args.seed, args.scale)
+    report = MeasurementReport(dataset.archive, dataset.topology, dataset.blackhole_list)
+    print(report.full_report())
+    return 0
+
+
+def _cmd_attacks(_args: argparse.Namespace) -> int:
+    from repro.attacks.feasibility import build_feasibility_matrix
+
+    matrix = build_feasibility_matrix()
+    print(matrix.to_table().render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.datasets.giotsas import build_blackhole_list
+    from repro.probing.atlas import AtlasPlatform
+    from repro.topology.generator import TopologyGenerator, TopologyParameters
+    from repro.wild.blackhole_sweep import BlackholeSweep
+    from repro.wild.peering import attach_peering_testbed
+
+    parameters = TopologyParameters(
+        tier1_count=3, transit_count=25, stub_count=80, seed=args.seed
+    )
+    topology = TopologyGenerator(parameters).generate()
+    platform = attach_peering_testbed(topology)
+    atlas = AtlasPlatform.deploy(topology, probe_count=args.probes, exclude_asns={platform.asn})
+    blackhole_list = build_blackhole_list(topology, seed=args.seed)
+    sweep = BlackholeSweep(topology, platform, atlas, blackhole_list)
+    result = sweep.run(confirm=not args.no_confirm)
+    effective = result.effective_communities()
+    print(f"communities swept:        {len(result.outcomes)}")
+    print(f"inducing blackholing:     {len(effective)} ({100 * result.effective_fraction():.1f}%)")
+    print(
+        f"vantage points affected:  {len(result.affected_probes())} of {result.probe_count}"
+        f" ({100 * result.affected_probe_fraction():.1f}%)"
+    )
+    print(f"confirmation pass agrees: {result.confirmed}")
+    return 0
+
+
+def _cmd_propagation(args: argparse.Namespace) -> int:
+    from repro.collectors.platform import CollectorDeployment
+    from repro.topology.generator import TopologyGenerator, TopologyParameters
+    from repro.wild.peering import attach_peering_testbed, attach_research_network
+    from repro.wild.propagation_check import run_propagation_check
+
+    parameters = TopologyParameters(
+        tier1_count=3, transit_count=30, stub_count=120, seed=args.seed
+    )
+    topology = TopologyGenerator(parameters).generate()
+    peering = attach_peering_testbed(topology, upstream_count=10)
+    research = attach_research_network(topology)
+    deployment = CollectorDeployment.default_deployment(topology)
+    for platform in (research, peering):
+        result = run_propagation_check(topology, platform, deployment)
+        print(
+            f"{platform.name}: benign community {result.benign_community} on {result.test_prefix} "
+            f"forwarded by {result.forwarding_count} transit providers "
+            f"(of {len(result.ases_on_paths)} on-path ASes)"
+        )
+    return 0
+
+
+def _cmd_export_mrt(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args.seed, args.scale)
+    count = dataset.archive.write_mrt(args.output)
+    print(f"wrote {count} MRT records to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp",
+        description="Reproduction harness for 'BGP Communities: Even more Worms in the Routing Can'",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser("report", help="print the Section 4 measurement report")
+    report.add_argument("--seed", type=int, default=42)
+    report.add_argument("--scale", choices=["small", "default", "large"], default="small")
+    report.set_defaults(func=_cmd_report)
+
+    attacks = subparsers.add_parser("attacks", help="run the attack scenarios (Table 3)")
+    attacks.set_defaults(func=_cmd_attacks)
+
+    sweep = subparsers.add_parser("sweep", help="run the Section 7.6 blackhole sweep")
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--probes", type=int, default=60)
+    sweep.add_argument("--no-confirm", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    propagation = subparsers.add_parser(
+        "propagation", help="run the Section 7.2 propagation check"
+    )
+    propagation.add_argument("--seed", type=int, default=42)
+    propagation.set_defaults(func=_cmd_propagation)
+
+    export = subparsers.add_parser("export-mrt", help="write the synthetic dataset as MRT")
+    export.add_argument("output")
+    export.add_argument("--seed", type=int, default=42)
+    export.add_argument("--scale", choices=["small", "default", "large"], default="small")
+    export.set_defaults(func=_cmd_export_mrt)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Route collector platforms (RIS / Route Views / Isolario / PCH style)."""
+
+from repro.collectors.observation import RouteObservation, ObservationArchive
+from repro.collectors.platform import Collector, CollectorPlatform, CollectorDeployment
+
+__all__ = [
+    "RouteObservation",
+    "ObservationArchive",
+    "Collector",
+    "CollectorPlatform",
+    "CollectorDeployment",
+]

@@ -1,0 +1,182 @@
+"""Route observations: the unit of data the measurement pipeline consumes.
+
+A :class:`RouteObservation` is one (collector, peer, prefix) data point:
+the AS path as seen by the collector peer and the communities attached
+to the announcement.  Both the synthetic dataset generator and the live
+simulation produce these; the Section 4 analyses consume them; and the
+MRT bridge serialises them to and from standard BGP archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.message import BgpUpdate
+from repro.bgp.prefix import AddressFamily, Prefix
+from repro.mrt.entries import Bgp4mpMessage
+from repro.mrt.reader import MrtReader
+from repro.mrt.writer import MrtWriter
+
+
+@dataclass(frozen=True)
+class RouteObservation:
+    """One route as observed at a collector."""
+
+    platform: str
+    collector_id: str
+    peer_asn: int
+    prefix: Prefix
+    #: AS path with the collector peer first and the origin AS last
+    #: (prepending preserved; analyses normalise it themselves).
+    as_path: tuple[int, ...]
+    communities: CommunitySet = field(default_factory=CommunitySet)
+    timestamp: float = 0.0
+
+    @property
+    def origin_asn(self) -> int | None:
+        """The origin AS of the observed route."""
+        return self.as_path[-1] if self.as_path else None
+
+    @property
+    def path_without_prepending(self) -> tuple[int, ...]:
+        """The AS path with consecutive duplicates collapsed."""
+        collapsed: list[int] = []
+        for asn in self.as_path:
+            if not collapsed or collapsed[-1] != asn:
+                collapsed.append(asn)
+        return tuple(collapsed)
+
+    @property
+    def has_communities(self) -> bool:
+        """True if at least one community is attached."""
+        return bool(self.communities)
+
+    def community_asns(self) -> set[int]:
+        """The distinct ASN parts of the attached communities."""
+        return self.communities.asns()
+
+    def is_on_path(self, community: Community) -> bool:
+        """True if the community's ASN part appears on the AS path."""
+        return community.asn in set(self.as_path)
+
+
+class ObservationArchive:
+    """A collection of route observations with query helpers and MRT round-tripping."""
+
+    def __init__(self, observations: Iterable[RouteObservation] = ()):
+        self._observations: list[RouteObservation] = list(observations)
+
+    # --------------------------------------------------------------- mutation
+    def add(self, observation: RouteObservation) -> None:
+        """Append one observation."""
+        self._observations.append(observation)
+
+    def extend(self, observations: Iterable[RouteObservation]) -> None:
+        """Append many observations."""
+        self._observations.extend(observations)
+
+    # ---------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self) -> Iterator[RouteObservation]:
+        return iter(self._observations)
+
+    def filter(self, predicate: Callable[[RouteObservation], bool]) -> "ObservationArchive":
+        """Return a new archive with only the matching observations."""
+        return ObservationArchive(o for o in self._observations if predicate(o))
+
+    def by_platform(self, platform: str) -> "ObservationArchive":
+        """Return only the observations of one platform."""
+        return self.filter(lambda o: o.platform == platform)
+
+    def platforms(self) -> list[str]:
+        """Return the distinct platform names, sorted."""
+        return sorted({o.platform for o in self._observations})
+
+    def collectors(self) -> list[tuple[str, str]]:
+        """Return the distinct (platform, collector) pairs, sorted."""
+        return sorted({(o.platform, o.collector_id) for o in self._observations})
+
+    def peer_asns(self) -> set[int]:
+        """Return the distinct collector-peer ASNs."""
+        return {o.peer_asn for o in self._observations}
+
+    def prefixes(self) -> set[Prefix]:
+        """Return the distinct observed prefixes."""
+        return {o.prefix for o in self._observations}
+
+    def with_communities(self) -> "ObservationArchive":
+        """Return only the observations carrying at least one community."""
+        return self.filter(lambda o: o.has_communities)
+
+    def observed_community_asns(self) -> set[int]:
+        """Return every ASN encoded in any observed community."""
+        asns: set[int] = set()
+        for observation in self._observations:
+            asns |= observation.community_asns()
+        return asns
+
+    def unique_communities(self) -> set[Community]:
+        """Return the distinct communities observed."""
+        communities: set[Community] = set()
+        for observation in self._observations:
+            communities.update(observation.communities)
+        return communities
+
+    # ------------------------------------------------------------------- MRT
+    def to_mrt_messages(self, collector_asn: int = 65000) -> Iterator[Bgp4mpMessage]:
+        """Convert observations to BGP4MP messages (IPv4 observations only)."""
+        for observation in self._observations:
+            if not observation.prefix.is_ipv4:
+                continue
+            attributes = PathAttributes(
+                as_path=ASPath.of(*observation.as_path),
+                communities=observation.communities,
+            )
+            update = BgpUpdate(announced=[observation.prefix], attributes=attributes)
+            yield Bgp4mpMessage(
+                timestamp=int(observation.timestamp),
+                peer_asn=observation.peer_asn,
+                local_asn=collector_asn,
+                peer_ip=0x0A000001,
+                local_ip=0x0A000002,
+                interface_index=0,
+                address_family=1,
+                update=update,
+            )
+
+    def write_mrt(self, path: str | Path, collector_asn: int = 65000) -> int:
+        """Write the archive as an MRT file; return the record count."""
+        path = Path(path)
+        with path.open("wb") as stream:
+            writer = MrtWriter(stream)
+            for message in self.to_mrt_messages(collector_asn):
+                writer.write_message(message)
+            return writer.records_written
+
+    @classmethod
+    def from_mrt(
+        cls, path: str | Path, platform: str = "mrt", collector_id: str = "mrt-0"
+    ) -> "ObservationArchive":
+        """Load an MRT update file into an archive."""
+        archive = cls()
+        for message in MrtReader.from_file(path).messages():
+            for prefix in message.update.announced:
+                archive.add(
+                    RouteObservation(
+                        platform=platform,
+                        collector_id=collector_id,
+                        peer_asn=message.peer_asn,
+                        prefix=prefix,
+                        as_path=tuple(message.update.attributes.as_path.asns()),
+                        communities=message.update.attributes.communities,
+                        timestamp=float(message.timestamp),
+                    )
+                )
+        return archive

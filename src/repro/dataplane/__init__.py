@@ -1,0 +1,19 @@
+"""Data-plane simulation: FIBs, packet forwarding, ping and traceroute."""
+
+from repro.dataplane.fib import Fib, FibEntry, build_fib
+from repro.dataplane.forwarding import (
+    DataPlane,
+    ForwardingOutcome,
+    PingResult,
+    TracerouteResult,
+)
+
+__all__ = [
+    "Fib",
+    "FibEntry",
+    "build_fib",
+    "DataPlane",
+    "ForwardingOutcome",
+    "PingResult",
+    "TracerouteResult",
+]

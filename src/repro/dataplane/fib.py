@@ -1,0 +1,91 @@
+"""Forwarding information bases derived from the control plane.
+
+Each AS's FIB maps prefixes to a next-hop AS (or to a null interface for
+blackholed routes); lookups use longest-prefix match.  The wild
+experiments verify attacks on the data plane — "the next-hop address for
+the prefix changed to a null interface address" — which is exactly the
+state this module captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import LocRib
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One FIB entry: the prefix, where to send matching traffic, and flags."""
+
+    prefix: Prefix
+    #: The neighbor AS traffic is forwarded to; None for locally delivered
+    #: (originated) prefixes.
+    next_hop_asn: int | None
+    #: True when traffic to the prefix is discarded (null interface).
+    blackholed: bool = False
+
+    @property
+    def is_local(self) -> bool:
+        """True if traffic matching this entry is delivered locally."""
+        return self.next_hop_asn is None and not self.blackholed
+
+
+class Fib:
+    """Longest-prefix-match forwarding table of one AS."""
+
+    def __init__(self, asn: int):
+        self.asn = asn
+        self._entries: dict[Prefix, FibEntry] = {}
+
+    def install(self, entry: FibEntry) -> None:
+        """Install (or replace) the entry for the entry's prefix."""
+        self._entries[entry.prefix] = entry
+
+    def remove(self, prefix: Prefix) -> None:
+        """Remove the entry for ``prefix`` if present."""
+        self._entries.pop(prefix, None)
+
+    def lookup(self, address: int) -> FibEntry | None:
+        """Longest-prefix-match lookup for an integer IPv4/IPv6 address."""
+        best: FibEntry | None = None
+        for prefix, entry in self._entries.items():
+            if prefix.contains_address(address):
+                if best is None or prefix.length > best.prefix.length:
+                    best = entry
+        return best
+
+    def entries(self) -> list[FibEntry]:
+        """Return all installed entries."""
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._entries
+
+
+def build_fib(asn: int, loc_rib: LocRib, originated: set[Prefix] = frozenset()) -> Fib:
+    """Build the FIB of one AS from its Loc-RIB.
+
+    Originated prefixes become local-delivery entries; blackholed best
+    routes become discard entries; everything else points at the
+    neighbor the best route was learned from.
+    """
+    fib = Fib(asn)
+    for prefix in originated:
+        fib.install(FibEntry(prefix=prefix, next_hop_asn=None, blackholed=False))
+    for entry in loc_rib.best_routes():
+        if entry.prefix in originated:
+            continue
+        if entry.blackholed:
+            fib.install(FibEntry(prefix=entry.prefix, next_hop_asn=None, blackholed=True))
+        elif entry.learned_from == asn:
+            fib.install(FibEntry(prefix=entry.prefix, next_hop_asn=None, blackholed=False))
+        else:
+            fib.install(
+                FibEntry(prefix=entry.prefix, next_hop_asn=entry.learned_from, blackholed=False)
+            )
+    return fib

@@ -1,0 +1,135 @@
+"""AS-level packet forwarding, ping and traceroute simulation.
+
+The paper validates every attack on the data plane with RIPE Atlas
+probes; :class:`DataPlane` provides the equivalent capability over the
+simulated Internet: build every AS's FIB from the converged control
+plane, then walk packets hop by hop, reporting delivery, blackholing,
+loops, or missing routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.bgp.prefix import Prefix
+from repro.dataplane.fib import Fib, build_fib
+from repro.exceptions import DataPlaneError
+from repro.routing.engine import BgpSimulator
+
+
+class ForwardingOutcome(str, Enum):
+    """What happened to a forwarded packet."""
+
+    DELIVERED = "delivered"
+    BLACKHOLED = "blackholed"
+    NO_ROUTE = "no_route"
+    LOOP = "loop"
+    TTL_EXPIRED = "ttl_expired"
+
+
+@dataclass
+class TracerouteResult:
+    """The AS-level path a packet took and how its journey ended."""
+
+    source_asn: int
+    destination: int
+    outcome: ForwardingOutcome
+    path: list[int] = field(default_factory=list)
+    #: The AS at which the packet was dropped (if it was).
+    dropped_at: int | None = None
+
+    @property
+    def reached(self) -> bool:
+        """True if the packet was delivered."""
+        return self.outcome == ForwardingOutcome.DELIVERED
+
+
+@dataclass
+class PingResult:
+    """Reachability of a destination address from a source AS."""
+
+    source_asn: int
+    destination: int
+    reachable: bool
+    outcome: ForwardingOutcome
+    hops: int = 0
+
+
+class DataPlane:
+    """Per-AS FIBs plus hop-by-hop forwarding over a converged simulation."""
+
+    def __init__(self, simulator: BgpSimulator, max_ttl: int = 64):
+        self.simulator = simulator
+        self.max_ttl = max_ttl
+        self.fibs: dict[int, Fib] = {}
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """Rebuild every AS's FIB from the current control-plane state."""
+        self.fibs = {}
+        for asn, router in self.simulator.routers.items():
+            originated = set(router.originated)
+            self.fibs[asn] = build_fib(asn, router.loc_rib, originated)
+
+    def fib(self, asn: int) -> Fib:
+        """Return the FIB of ``asn``."""
+        try:
+            return self.fibs[asn]
+        except KeyError as exc:
+            raise DataPlaneError(f"no FIB for AS{asn}") from exc
+
+    # -------------------------------------------------------------- forwarding
+    def traceroute(self, source_asn: int, destination: int) -> TracerouteResult:
+        """Forward a packet from ``source_asn`` toward integer address ``destination``."""
+        if source_asn not in self.fibs:
+            raise DataPlaneError(f"source AS{source_asn} is not part of the simulation")
+        path = [source_asn]
+        current = source_asn
+        for _ in range(self.max_ttl):
+            fib = self.fibs[current]
+            entry = fib.lookup(destination)
+            if entry is None:
+                return TracerouteResult(
+                    source_asn, destination, ForwardingOutcome.NO_ROUTE, path, dropped_at=current
+                )
+            if entry.blackholed:
+                return TracerouteResult(
+                    source_asn, destination, ForwardingOutcome.BLACKHOLED, path, dropped_at=current
+                )
+            if entry.is_local:
+                return TracerouteResult(source_asn, destination, ForwardingOutcome.DELIVERED, path)
+            next_asn = entry.next_hop_asn
+            if next_asn in path:
+                return TracerouteResult(
+                    source_asn, destination, ForwardingOutcome.LOOP, path + [next_asn],
+                    dropped_at=current,
+                )
+            if next_asn not in self.fibs:
+                return TracerouteResult(
+                    source_asn, destination, ForwardingOutcome.NO_ROUTE, path, dropped_at=current
+                )
+            path.append(next_asn)
+            current = next_asn
+        return TracerouteResult(
+            source_asn, destination, ForwardingOutcome.TTL_EXPIRED, path, dropped_at=current
+        )
+
+    def ping(self, source_asn: int, destination: int) -> PingResult:
+        """Return reachability of ``destination`` from ``source_asn``."""
+        trace = self.traceroute(source_asn, destination)
+        return PingResult(
+            source_asn=source_asn,
+            destination=destination,
+            reachable=trace.reached,
+            outcome=trace.outcome,
+            hops=max(0, len(trace.path) - 1),
+        )
+
+    def ping_prefix(self, source_asn: int, prefix: Prefix, host_offset: int = 1) -> PingResult:
+        """Ping a representative host inside ``prefix``."""
+        return self.ping(source_asn, prefix.host(host_offset))
+
+    def reachability_matrix(self, sources: list[int], destination: int) -> dict[int, bool]:
+        """Return per-source reachability of one destination address."""
+        return {source: self.ping(source, destination).reachable for source in sources}

@@ -1,0 +1,23 @@
+"""Synthetic datasets calibrated to the paper's published distributions."""
+
+from repro.datasets.communities_db import CommunityUsageModel, CommunityDocumentation
+from repro.datasets.giotsas import BlackholeCommunityList, build_blackhole_list
+from repro.datasets.synthetic import (
+    DatasetParameters,
+    SyntheticDataset,
+    SyntheticDatasetBuilder,
+)
+from repro.datasets.timeseries import GrowthModel, YearlySnapshot, historical_series
+
+__all__ = [
+    "CommunityUsageModel",
+    "CommunityDocumentation",
+    "BlackholeCommunityList",
+    "build_blackhole_list",
+    "DatasetParameters",
+    "SyntheticDataset",
+    "SyntheticDatasetBuilder",
+    "GrowthModel",
+    "YearlySnapshot",
+    "historical_series",
+]

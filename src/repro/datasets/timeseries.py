@@ -1,0 +1,102 @@
+"""Longitudinal community-usage model (Figure 3).
+
+Figure 3 of the paper plots, from 2010 to 2018, the number of unique
+ASes appearing in communities, unique communities, absolute community
+attachments, and BGP table entries, and the text notes an 18–20 %
+increase in observable communities over the final year.  We model the
+series as smooth exponential growth curves anchored to the 2018 values
+observed in a synthetic dataset (or to the paper's own 2018 numbers),
+which reproduces the *shape* of the figure — monotone growth with the
+community curves growing faster than the table itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import DatasetError
+
+
+@dataclass(frozen=True)
+class YearlySnapshot:
+    """One year's headline counts (the four series of Figure 3)."""
+
+    year: int
+    unique_ases_in_communities: int
+    unique_communities: int
+    absolute_communities: int
+    bgp_table_entries: int
+
+
+@dataclass
+class GrowthModel:
+    """Exponential growth model anchored at a final-year snapshot."""
+
+    final_year: int = 2018
+    first_year: int = 2010
+    #: Year-over-year growth of unique communities (the paper reports ~18–20 %).
+    community_growth_rate: float = 0.18
+    #: Year-over-year growth of ASes using communities.
+    as_growth_rate: float = 0.12
+    #: Year-over-year growth of absolute community attachments.
+    absolute_growth_rate: float = 0.22
+    #: Year-over-year growth of BGP table entries (much slower).
+    table_growth_rate: float = 0.05
+
+    def series(self, final_snapshot: YearlySnapshot) -> list[YearlySnapshot]:
+        """Return yearly snapshots from ``first_year`` to ``final_year``."""
+        if final_snapshot.year != self.final_year:
+            raise DatasetError(
+                f"final snapshot year {final_snapshot.year} does not match model "
+                f"final year {self.final_year}"
+            )
+        if self.first_year >= self.final_year:
+            raise DatasetError("first_year must precede final_year")
+        snapshots: list[YearlySnapshot] = []
+        for year in range(self.first_year, self.final_year + 1):
+            age = self.final_year - year
+            snapshots.append(
+                YearlySnapshot(
+                    year=year,
+                    unique_ases_in_communities=max(
+                        1, round(final_snapshot.unique_ases_in_communities / (1 + self.as_growth_rate) ** age)
+                    ),
+                    unique_communities=max(
+                        1, round(final_snapshot.unique_communities / (1 + self.community_growth_rate) ** age)
+                    ),
+                    absolute_communities=max(
+                        1, round(final_snapshot.absolute_communities / (1 + self.absolute_growth_rate) ** age)
+                    ),
+                    bgp_table_entries=max(
+                        1, round(final_snapshot.bgp_table_entries / (1 + self.table_growth_rate) ** age)
+                    ),
+                )
+            )
+        return snapshots
+
+    def last_year_increase(self, series: list[YearlySnapshot]) -> float:
+        """Return the relative growth of unique communities over the final year."""
+        if len(series) < 2:
+            raise DatasetError("need at least two years to compute an increase")
+        previous, final = series[-2], series[-1]
+        if previous.unique_communities == 0:
+            raise DatasetError("previous year has zero communities")
+        return final.unique_communities / previous.unique_communities - 1.0
+
+
+#: The paper's own April-2018 headline numbers (Table 1 total row + Figure 3).
+PAPER_2018_SNAPSHOT = YearlySnapshot(
+    year=2018,
+    unique_ases_in_communities=5659,
+    unique_communities=63797,
+    absolute_communities=7_000_000_000,
+    bgp_table_entries=967_499,
+)
+
+
+def historical_series(
+    final_snapshot: YearlySnapshot | None = None, model: GrowthModel | None = None
+) -> list[YearlySnapshot]:
+    """Return the 2010–2018 series, anchored at the paper's numbers by default."""
+    model = model or GrowthModel()
+    return model.series(final_snapshot or PAPER_2018_SNAPSHOT)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still being able to distinguish parsing errors from simulation or
+policy errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class PrefixError(ReproError, ValueError):
+    """An IP prefix string or (network, length) pair is malformed."""
+
+
+class CommunityError(ReproError, ValueError):
+    """A BGP community value or string representation is malformed."""
+
+
+class ASPathError(ReproError, ValueError):
+    """An AS path is malformed (bad ASN, bad segment type, ...)."""
+
+
+class AttributeError_(ReproError, ValueError):
+    """A BGP path attribute is malformed or violates protocol limits."""
+
+
+class MessageError(ReproError, ValueError):
+    """A BGP message cannot be encoded or decoded."""
+
+
+class MrtError(ReproError, ValueError):
+    """An MRT record cannot be encoded or decoded."""
+
+
+class MrtTruncatedError(MrtError):
+    """An MRT stream ended in the middle of a record."""
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is inconsistent (unknown AS, bad link, ...)."""
+
+
+class PolicyError(ReproError):
+    """A routing policy or community service definition is invalid."""
+
+
+class RoutingError(ReproError):
+    """The routing simulation reached an inconsistent state."""
+
+
+class ConvergenceError(RoutingError):
+    """The propagation engine failed to converge within its iteration bound."""
+
+
+class DataPlaneError(ReproError):
+    """A data-plane operation (ping, traceroute, FIB lookup) failed."""
+
+
+class CollectorError(ReproError):
+    """A route collector platform is misconfigured."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset cannot be generated or loaded."""
+
+
+class MeasurementError(ReproError):
+    """A measurement analysis received inconsistent input."""
+
+
+class AttackError(ReproError):
+    """An attack scenario is misconfigured or cannot be executed."""
+
+
+class AupViolationError(AttackError):
+    """An experiment violates the acceptable-use policy of its testbed."""
+
+
+class ProbingError(ReproError):
+    """An active-measurement (Atlas-like) operation failed."""

@@ -1,0 +1,157 @@
+"""Community filtering inference (Section 4.4, Figure 6).
+
+For every prefix we compare all observations at the same time: if an AS
+is seen forwarding a community on the edge towards one neighbor but the
+same prefix reaches another neighbor without that community, we count a
+*filtering indication* for the second edge and a *forwarding indication*
+for the first.  The heuristic, its conservative tagger attribution and
+its acknowledged biases all follow the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community
+from repro.collectors.observation import ObservationArchive
+from repro.utils.stats import fraction
+
+
+@dataclass
+class EdgeIndications:
+    """Indication counters for one directed AS edge (from, to)."""
+
+    edge: tuple[int, int]
+    forwarded: int = 0
+    filtered: int = 0
+    added: int = 0
+    #: Number of distinct AS paths on which the edge was observed.
+    paths_observed: int = 0
+
+    @property
+    def has_evidence(self) -> bool:
+        """True if the edge has at least one forwarding or filtering indication."""
+        return self.forwarded > 0 or self.filtered > 0
+
+    @property
+    def only_filters(self) -> bool:
+        """True if every indication points at filtering."""
+        return self.filtered > 0 and self.forwarded == 0
+
+    @property
+    def only_forwards(self) -> bool:
+        """True if every indication points at forwarding."""
+        return self.forwarded > 0 and self.filtered == 0
+
+
+@dataclass
+class FilteringInference:
+    """The result of the filtering inference over an archive."""
+
+    edges: dict[tuple[int, int], EdgeIndications] = field(default_factory=dict)
+    total_edges_observed: int = 0
+
+    def edges_with_evidence(self, min_paths: int = 0) -> list[EdgeIndications]:
+        """Edges with at least one indication and ``min_paths`` observed paths."""
+        return [
+            e
+            for e in self.edges.values()
+            if e.has_evidence and e.paths_observed >= min_paths
+        ]
+
+    def forwarding_fraction(self, min_paths: int = 0) -> float:
+        """Fraction of all observed edges with at least one forwarding indication."""
+        if min_paths:
+            universe = [e for e in self.edges.values() if e.paths_observed >= min_paths]
+        else:
+            universe = list(self.edges.values())
+        forwarding = [e for e in universe if e.forwarded > 0]
+        return fraction(len(forwarding), len(universe))
+
+    def filtering_fraction(self, min_paths: int = 0) -> float:
+        """Fraction of all observed edges with at least one filtering indication."""
+        if min_paths:
+            universe = [e for e in self.edges.values() if e.paths_observed >= min_paths]
+        else:
+            universe = list(self.edges.values())
+        filtering = [e for e in universe if e.filtered > 0]
+        return fraction(len(filtering), len(universe))
+
+    def scatter_points(self, min_paths: int = 100) -> list[tuple[int, int]]:
+        """Figure 6(b): (forwarding, filtering) indication counts per qualifying edge."""
+        return [
+            (e.forwarded, e.filtered)
+            for e in self.edges_with_evidence(min_paths=min_paths)
+        ]
+
+
+def _record_path_edges(inference: FilteringInference, path: tuple[int, ...]) -> None:
+    """Count, per directed edge, on how many paths the edge was observed."""
+    for downstream, upstream in zip(path, path[1:]):
+        # The announcement travelled upstream -> downstream (origin towards peer).
+        edge = (upstream, downstream)
+        indications = inference.edges.get(edge)
+        if indications is None:
+            indications = EdgeIndications(edge=edge)
+            inference.edges[edge] = indications
+        indications.paths_observed += 1
+
+
+def infer_filtering(archive: ObservationArchive) -> FilteringInference:
+    """Run the Figure 6 filtering-inference heuristic over the archive."""
+    inference = FilteringInference()
+
+    # Group observations by prefix (the paper iterates per prefix and
+    # considers all updates "at the same time").
+    by_prefix: dict = defaultdict(list)
+    for observation in archive:
+        by_prefix[observation.prefix].append(observation)
+        _record_path_edges(inference, observation.path_without_prepending)
+    inference.total_edges_observed = len(inference.edges)
+
+    for prefix, observations in by_prefix.items():
+        # For each community, find where it was (conservatively) added and
+        # which ASes were seen forwarding it onward.
+        forwarding_evidence: dict[Community, set[int]] = defaultdict(set)
+        carrying_paths: dict[Community, list[tuple[int, ...]]] = defaultdict(list)
+        for observation in observations:
+            path = observation.path_without_prepending
+            positions: dict[int, int] = {}
+            for index, asn in enumerate(path):
+                if asn not in positions:
+                    positions[asn] = index
+            for community in observation.communities:
+                tagger_index = positions.get(community.asn)
+                if tagger_index is None or tagger_index == 0:
+                    continue
+                carrying_paths[community].append(path)
+                # The tagger added the community on the edge towards the next AS.
+                added_edge = (path[tagger_index], path[tagger_index - 1])
+                entry = inference.edges.setdefault(
+                    added_edge, EdgeIndications(edge=added_edge)
+                )
+                entry.added += 1
+                # Every AS between the tagger and the peer forwarded it onward.
+                for index in range(tagger_index - 1, 0, -1):
+                    edge = (path[index], path[index - 1])
+                    entry = inference.edges.setdefault(edge, EdgeIndications(edge=edge))
+                    entry.forwarded += 1
+                    forwarding_evidence[community].add(path[index])
+
+        # Filtering indications: an AS known to forward the community (for
+        # this prefix) appears on another path whose observation does not
+        # carry the community.
+        for observation in observations:
+            path = observation.path_without_prepending
+            present = set(observation.communities)
+            for community, forwarders in forwarding_evidence.items():
+                if community in present:
+                    continue
+                for index in range(1, len(path)):
+                    asn = path[index]
+                    if asn in forwarders:
+                        edge = (asn, path[index - 1])
+                        entry = inference.edges.setdefault(edge, EdgeIndications(edge=edge))
+                        entry.filtered += 1
+    return inference

@@ -1,0 +1,301 @@
+"""Community propagation analyses: Table 2, Figure 5(a)–(c), §4.3 transit forwarders.
+
+The central methodological choices follow the paper:
+
+* communities are interpreted under the ``AS:value`` convention;
+* a community is **on-path** if its ASN part appears on the (prepending-
+  collapsed) AS path of the observation, otherwise **off-path**;
+* the *conservative tagger attribution* assumes the on-path AS encoded
+  in the community added it (not an earlier AS), which lower-bounds the
+  propagation distance;
+* private ASNs (RFC 6996) are reported separately because they are
+  off-path by construction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.bgp.community import Community, is_private_asn
+from repro.collectors.observation import ObservationArchive, RouteObservation
+from repro.utils.stats import Ecdf, Histogram, fraction
+
+
+@dataclass(frozen=True)
+class CommunityClassification:
+    """One observed community instance classified against its observation."""
+
+    community: Community
+    observation: RouteObservation
+    on_path: bool
+    #: Hops travelled from the (conservatively attributed) tagger to the
+    #: collector, including the edge to the collector.  None for off-path.
+    hops_travelled: int | None
+    #: Position of the tagger on the prepending-collapsed path (0 = collector peer).
+    tagger_index: int | None
+
+
+def classify_communities(
+    archive: ObservationArchive, conservative: bool = True
+) -> list[CommunityClassification]:
+    """Classify every (community, observation) pair as on-/off-path with distances.
+
+    With ``conservative=True`` (the paper's choice) the tagger is the
+    path occurrence of the community's ASN *closest to the collector*,
+    which minimises the inferred distance.  With ``conservative=False``
+    the occurrence closest to the origin is used (optimistic
+    attribution) — the ablation benchmark compares the two.
+    """
+    classifications: list[CommunityClassification] = []
+    for observation in archive:
+        path = list(observation.path_without_prepending)
+        position_of: dict[int, int] = {}
+        for index, asn in enumerate(path):
+            if conservative:
+                if asn not in position_of:
+                    position_of[asn] = index
+            else:
+                position_of[asn] = index
+        for community in observation.communities:
+            index = position_of.get(community.asn)
+            if index is None:
+                classifications.append(
+                    CommunityClassification(
+                        community=community,
+                        observation=observation,
+                        on_path=False,
+                        hops_travelled=None,
+                        tagger_index=None,
+                    )
+                )
+            else:
+                # Hops from the tagger to the observation point, plus the edge
+                # from the collector peer to the collector itself.
+                classifications.append(
+                    CommunityClassification(
+                        community=community,
+                        observation=observation,
+                        on_path=True,
+                        hops_travelled=index + 1,
+                        tagger_index=index,
+                    )
+                )
+    return classifications
+
+
+# --------------------------------------------------------------------- Table 2
+@dataclass(frozen=True)
+class ObservedAsSummary:
+    """One row of Table 2: ASes appearing as community ASN parts."""
+
+    platform: str
+    total: int
+    without_collector_peer: int
+    on_path: int
+    off_path: int
+    off_path_without_private: int
+
+
+def _summary_for(name: str, archive: ObservationArchive) -> ObservedAsSummary:
+    peer_asns = archive.peer_asns()
+    all_asns: set[int] = set()
+    on_path_asns: set[int] = set()
+    off_path_asns: set[int] = set()
+    for observation in archive:
+        path = set(observation.path_without_prepending)
+        for community in observation.communities:
+            asn = community.asn
+            all_asns.add(asn)
+            if asn in path:
+                on_path_asns.add(asn)
+            else:
+                off_path_asns.add(asn)
+    off_path_only = off_path_asns - on_path_asns
+    return ObservedAsSummary(
+        platform=name,
+        total=len(all_asns),
+        without_collector_peer=len(all_asns - peer_asns),
+        on_path=len(on_path_asns),
+        off_path=len(off_path_only),
+        off_path_without_private=len({a for a in off_path_only if not is_private_asn(a)}),
+    )
+
+
+def observed_as_summary(archive: ObservationArchive) -> list[ObservedAsSummary]:
+    """Compute Table 2: one row per platform plus a Total row."""
+    rows = [
+        _summary_for(platform, archive.by_platform(platform))
+        for platform in archive.platforms()
+    ]
+    rows.append(_summary_for("Total", archive))
+    return rows
+
+
+# ------------------------------------------------------------------ Figure 5(a)
+@dataclass(frozen=True)
+class PropagationDistances:
+    """Figure 5(a): hop-distance ECDFs of all communities vs blackholing communities."""
+
+    all_communities: Ecdf
+    blackhole_communities: Ecdf
+
+    def median_all(self) -> float:
+        """Median hop distance over all communities."""
+        return self.all_communities.quantile(0.5)
+
+    def median_blackhole(self) -> float:
+        """Median hop distance of blackhole communities."""
+        return self.blackhole_communities.quantile(0.5)
+
+
+def propagation_distance_ecdf(
+    archive: ObservationArchive,
+    blackhole_communities: set[Community] | None = None,
+    conservative: bool = True,
+) -> PropagationDistances:
+    """Compute Figure 5(a).
+
+    The distance of a community is the *maximum* hop count over all
+    observations of that community (how far it is seen to propagate).
+    A community counts as a blackholing community if its value part is
+    666 (RFC 7999 convention) or if it is in the supplied verified list.
+    """
+    blackhole_communities = blackhole_communities or set()
+    per_community: dict[Community, int] = {}
+    for item in classify_communities(archive, conservative=conservative):
+        if not item.on_path or item.hops_travelled is None:
+            continue
+        existing = per_community.get(item.community, 0)
+        per_community[item.community] = max(existing, item.hops_travelled)
+    all_distances = list(per_community.values())
+    blackhole_distances = [
+        distance
+        for community, distance in per_community.items()
+        if community.has_blackhole_value or community in blackhole_communities
+    ]
+    return PropagationDistances(
+        all_communities=Ecdf(all_distances),
+        blackhole_communities=Ecdf(blackhole_distances),
+    )
+
+
+# ------------------------------------------------------------------ Figure 5(b)
+def relative_distance_by_path_length(
+    archive: ObservationArchive,
+    min_path_length: int = 3,
+    max_path_length: int = 10,
+) -> dict[int, Ecdf]:
+    """Compute Figure 5(b): relative propagation distance grouped by AS-path length.
+
+    Communities whose ASN equals the collector peer (the monitor's
+    neighbor) are excluded, but the edge to the monitor is included in
+    the distance — both choices taken from the paper.
+    """
+    per_length: dict[int, list[float]] = defaultdict(list)
+    for item in classify_communities(archive):
+        if not item.on_path or item.hops_travelled is None or item.tagger_index is None:
+            continue
+        path = item.observation.path_without_prepending
+        path_length = len(path)
+        if not min_path_length <= path_length <= max_path_length:
+            continue
+        if item.tagger_index == 0:
+            # Community of the monitor's direct peer: excluded.
+            continue
+        relative = item.hops_travelled / path_length
+        per_length[path_length].append(min(1.0, relative))
+    return {length: Ecdf(values) for length, values in sorted(per_length.items())}
+
+
+# ------------------------------------------------------------------ Figure 5(c)
+@dataclass(frozen=True)
+class TopValues:
+    """Figure 5(c): the most popular community *values*, split on-/off-path."""
+
+    on_path: list[tuple[int, float]]
+    off_path: list[tuple[int, float]]
+
+    def on_path_values(self) -> list[int]:
+        """Just the on-path value ranking."""
+        return [value for value, _share in self.on_path]
+
+    def off_path_values(self) -> list[int]:
+        """Just the off-path value ranking."""
+        return [value for value, _share in self.off_path]
+
+
+def top_values(archive: ObservationArchive, n: int = 10) -> TopValues:
+    """Compute the top-``n`` community values for on-path and off-path communities."""
+    on_path_histogram = Histogram()
+    off_path_histogram = Histogram()
+    for item in classify_communities(archive):
+        target = on_path_histogram if item.on_path else off_path_histogram
+        target.add(item.community.value)
+
+    def ranked(histogram: Histogram) -> list[tuple[int, float]]:
+        total = histogram.total()
+        return [(value, fraction(count, total)) for value, count in histogram.top(n)]
+
+    return TopValues(on_path=ranked(on_path_histogram), off_path=ranked(off_path_histogram))
+
+
+# --------------------------------------------------------------- §4.3 forwarders
+@dataclass(frozen=True)
+class TransitForwarderSummary:
+    """§4.3: how many transit ASes relay communities of other ASes."""
+
+    transit_forwarders: set[int]
+    transit_ases: set[int]
+
+    @property
+    def forwarder_count(self) -> int:
+        """Number of transit ASes seen forwarding foreign communities."""
+        return len(self.transit_forwarders)
+
+    @property
+    def transit_count(self) -> int:
+        """Number of transit ASes observed at all."""
+        return len(self.transit_ases)
+
+    @property
+    def forwarder_fraction(self) -> float:
+        """The paper's ~14 % headline number."""
+        return fraction(self.forwarder_count, self.transit_count)
+
+
+def transit_forwarders(archive: ObservationArchive) -> TransitForwarderSummary:
+    """Find transit ASes that relay at least one community of another AS.
+
+    Following the paper: an AS is a transit AS if it appears on some path
+    as neither the origin nor the collector peer; collector-peer edges
+    are excluded from the forwarding evidence; and AS2 counts as a
+    forwarder if an update with path ``... AS3 AS2 AS1 ...`` carries a
+    community ``AS1:X`` tagged by an AS strictly closer to the origin
+    than AS2.
+    """
+    transit_ases: set[int] = set()
+    forwarders: set[int] = set()
+    for observation in archive:
+        path = list(observation.path_without_prepending)
+        if len(path) < 2:
+            continue
+        # Transit role: on the path, neither origin nor the collector peer.
+        for asn in path[1:-1]:
+            transit_ases.add(asn)
+        position_of: dict[int, int] = {}
+        for index, asn in enumerate(path):
+            if asn not in position_of:
+                position_of[asn] = index
+        for community in observation.communities:
+            tagger_index = position_of.get(community.asn)
+            if tagger_index is None:
+                continue
+            # Every AS strictly between the tagger and the collector peer
+            # relayed a foreign community; the peer itself is excluded
+            # because its session with the collector may be special.
+            for index in range(1, tagger_index):
+                forwarders.add(path[index])
+    return TransitForwarderSummary(
+        transit_forwarders=forwarders & transit_ases, transit_ases=transit_ases
+    )

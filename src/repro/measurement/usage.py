@@ -1,0 +1,161 @@
+"""Community usage statistics: Table 1, Figure 4(a), Figure 4(b).
+
+All functions operate on an :class:`~repro.collectors.observation.ObservationArchive`
+(optionally together with the topology it was observed over) and return
+plain data structures the report builder and the benchmarks render.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.collectors.observation import ObservationArchive
+from repro.topology.asys import AsRole
+from repro.topology.graph import classify_roles
+from repro.topology.topology import Topology
+from repro.utils.stats import Ecdf, fraction
+
+
+@dataclass(frozen=True)
+class PlatformOverview:
+    """One row of Table 1."""
+
+    platform: str
+    messages: int
+    ipv4_prefixes: int
+    ipv6_prefixes: int
+    collectors: int
+    peer_ases: int
+    communities: int
+    ases_observed: int
+    origin_ases: int
+    transit_ases: int
+    stub_ases: int
+
+
+def _roles_for(topology: Topology | None) -> dict[int, AsRole]:
+    if topology is None:
+        return {}
+    return classify_roles(topology)
+
+
+def _overview_for(
+    name: str, archive: ObservationArchive, roles: dict[int, AsRole]
+) -> PlatformOverview:
+    prefixes = archive.prefixes()
+    ipv4 = sum(1 for p in prefixes if p.is_ipv4)
+    ipv6 = len(prefixes) - ipv4
+    path_asns: set[int] = set()
+    origin_asns: set[int] = set()
+    for observation in archive:
+        path = observation.path_without_prepending
+        path_asns.update(path)
+        if path:
+            origin_asns.add(path[-1])
+    transit_asns = {
+        asn for asn in path_asns if roles.get(asn) in (AsRole.TRANSIT, AsRole.TIER1)
+    }
+    if not roles:
+        # Without a topology, infer transit ASes structurally: an AS that
+        # appears on a path as neither origin nor collector peer.
+        transit_asns = set()
+        for observation in archive:
+            path = observation.path_without_prepending
+            for asn in path[1:-1]:
+                transit_asns.add(asn)
+    stub_asns = path_asns - transit_asns
+    return PlatformOverview(
+        platform=name,
+        messages=len(archive),
+        ipv4_prefixes=ipv4,
+        ipv6_prefixes=ipv6,
+        collectors=len(archive.collectors()),
+        peer_ases=len(archive.peer_asns()),
+        communities=len(archive.unique_communities()),
+        ases_observed=len(path_asns),
+        origin_ases=len(origin_asns),
+        transit_ases=len(transit_asns),
+        stub_ases=len(stub_asns),
+    )
+
+
+def dataset_overview(
+    archive: ObservationArchive, topology: Topology | None = None
+) -> list[PlatformOverview]:
+    """Compute Table 1: one row per platform plus a Total row."""
+    roles = _roles_for(topology)
+    rows = [
+        _overview_for(platform, archive.by_platform(platform), roles)
+        for platform in archive.platforms()
+    ]
+    rows.append(_overview_for("Total", archive, roles))
+    return rows
+
+
+def updates_with_communities_by_collector(
+    archive: ObservationArchive,
+) -> dict[str, dict[str, float]]:
+    """Compute Figure 4(a): per platform, per collector, the fraction of updates
+    carrying at least one community."""
+    totals: dict[tuple[str, str], int] = defaultdict(int)
+    tagged: dict[tuple[str, str], int] = defaultdict(int)
+    for observation in archive:
+        key = (observation.platform, observation.collector_id)
+        totals[key] += 1
+        if observation.has_communities:
+            tagged[key] += 1
+    result: dict[str, dict[str, float]] = defaultdict(dict)
+    for (platform, collector), total in totals.items():
+        result[platform][collector] = fraction(tagged[(platform, collector)], total)
+    return dict(result)
+
+
+def overall_update_community_fraction(archive: ObservationArchive) -> float:
+    """Return the overall fraction of updates with at least one community (>75 % in the paper)."""
+    total = len(archive)
+    tagged = sum(1 for o in archive if o.has_communities)
+    return fraction(tagged, total)
+
+
+@dataclass(frozen=True)
+class PerUpdateDistributions:
+    """Figure 4(b): distributions of communities and associated ASes per update."""
+
+    communities_per_update: Ecdf
+    asns_per_update: Ecdf
+
+    def fraction_with_more_than(self, communities: int) -> float:
+        """Fraction of updates carrying more than ``communities`` communities."""
+        return self.communities_per_update.survival(communities)
+
+    def fraction_with_multiple_asns(self) -> float:
+        """Fraction of updates whose communities reference more than one AS."""
+        return self.asns_per_update.survival(1)
+
+
+def communities_per_update_ecdf(archive: ObservationArchive) -> PerUpdateDistributions:
+    """Compute Figure 4(b) over every observation in the archive."""
+    community_counts = []
+    asn_counts = []
+    for observation in archive:
+        community_counts.append(len(observation.communities))
+        asn_counts.append(len(observation.community_asns()))
+    return PerUpdateDistributions(
+        communities_per_update=Ecdf(community_counts),
+        asns_per_update=Ecdf(asn_counts),
+    )
+
+
+def unique_community_count(archive: ObservationArchive) -> int:
+    """Return the number of distinct communities observed (63K in the paper)."""
+    return len(archive.unique_communities())
+
+
+def community_service_as_count(archive: ObservationArchive) -> int:
+    """Return the number of ASes that appear as the ASN part of some community.
+
+    This is the paper's "more than 5K ASes offer community-based
+    services" statistic (computed under the ``AS:value`` convention).
+    """
+    return len(archive.observed_community_asns())

@@ -1,0 +1,37 @@
+"""MRT routing-information export format (RFC 6396) reader and writer.
+
+The public BGP archives the paper uses (RIPE RIS, Route Views, Isolario,
+PCH) distribute data as MRT files: BGP4MP message records for update
+streams and TABLE_DUMP_V2 records for RIB snapshots.  This package
+implements both directions so the synthetic collector platforms can
+write byte-exact archives and the measurement pipeline can read either
+our own archives or real ones.
+"""
+
+from repro.mrt.entries import (
+    MrtRecord,
+    Bgp4mpMessage,
+    PeerIndexTable,
+    PeerEntry,
+    RibEntry,
+    RibPrefixRecord,
+)
+from repro.mrt.constants import MrtType, Bgp4mpSubtype, TableDumpV2Subtype
+from repro.mrt.writer import MrtWriter, write_records
+from repro.mrt.reader import MrtReader, read_records
+
+__all__ = [
+    "MrtRecord",
+    "Bgp4mpMessage",
+    "PeerIndexTable",
+    "PeerEntry",
+    "RibEntry",
+    "RibPrefixRecord",
+    "MrtType",
+    "Bgp4mpSubtype",
+    "TableDumpV2Subtype",
+    "MrtWriter",
+    "write_records",
+    "MrtReader",
+    "read_records",
+]

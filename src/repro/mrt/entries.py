@@ -1,0 +1,82 @@
+"""Dataclasses describing decoded MRT records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.message import BgpUpdate
+from repro.bgp.prefix import Prefix
+from repro.mrt.constants import MrtType
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    """A raw MRT record: common header plus undecoded payload bytes."""
+
+    timestamp: int
+    mrt_type: int
+    subtype: int
+    payload: bytes
+    microseconds: int = 0
+
+    @property
+    def is_bgp4mp(self) -> bool:
+        """True for BGP4MP / BGP4MP_ET records."""
+        return self.mrt_type in (int(MrtType.BGP4MP), int(MrtType.BGP4MP_ET))
+
+    @property
+    def is_table_dump_v2(self) -> bool:
+        """True for TABLE_DUMP_V2 records."""
+        return self.mrt_type == int(MrtType.TABLE_DUMP_V2)
+
+
+@dataclass(frozen=True)
+class Bgp4mpMessage:
+    """A decoded BGP4MP_MESSAGE_AS4 record: who sent what to whom, and the update."""
+
+    timestamp: int
+    peer_asn: int
+    local_asn: int
+    peer_ip: int
+    local_ip: int
+    interface_index: int
+    address_family: int
+    update: BgpUpdate
+
+
+@dataclass(frozen=True)
+class PeerEntry:
+    """One peer in a TABLE_DUMP_V2 PEER_INDEX_TABLE."""
+
+    bgp_id: int
+    peer_ip: int
+    peer_asn: int
+    ipv6: bool = False
+
+
+@dataclass(frozen=True)
+class PeerIndexTable:
+    """The PEER_INDEX_TABLE record that prefixes a TABLE_DUMP_V2 dump."""
+
+    collector_bgp_id: int
+    view_name: str
+    peers: tuple[PeerEntry, ...] = ()
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One (peer, attributes) pair inside a TABLE_DUMP_V2 RIB record."""
+
+    peer_index: int
+    originated_time: int
+    attributes: PathAttributes
+
+
+@dataclass(frozen=True)
+class RibPrefixRecord:
+    """A TABLE_DUMP_V2 RIB record: all peers' routes for one prefix."""
+
+    sequence: int
+    prefix: Prefix
+    entries: tuple[RibEntry, ...] = field(default_factory=tuple)

@@ -1,0 +1,284 @@
+"""MRT binary reader (RFC 6396).
+
+Decodes the record types written by :mod:`repro.mrt.writer`:
+BGP4MP_MESSAGE / BGP4MP_MESSAGE_AS4 update records and TABLE_DUMP_V2
+PEER_INDEX_TABLE / RIB records.  Unknown record types are surfaced as
+raw :class:`MrtRecord` objects rather than being dropped.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.message import (
+    AttributeTypeCode,
+    FLAG_EXTENDED_LENGTH,
+    _decode_as_path,
+    _decode_prefix_nlri,
+    decode_update,
+)
+from repro.bgp.prefix import AddressFamily
+from repro.exceptions import MrtError, MrtTruncatedError
+from repro.mrt.constants import (
+    AFI_IPV4,
+    AFI_IPV6,
+    MRT_HEADER_LENGTH,
+    Bgp4mpSubtype,
+    MrtType,
+    TableDumpV2Subtype,
+)
+from repro.mrt.entries import (
+    Bgp4mpMessage,
+    MrtRecord,
+    PeerEntry,
+    PeerIndexTable,
+    RibEntry,
+    RibPrefixRecord,
+)
+
+
+def iter_raw_records(data: bytes) -> Iterator[MrtRecord]:
+    """Yield raw MRT records from a byte buffer."""
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + MRT_HEADER_LENGTH > total:
+            raise MrtTruncatedError("truncated MRT common header")
+        timestamp, mrt_type, subtype, length = struct.unpack(
+            "!IHHI", data[offset:offset + MRT_HEADER_LENGTH]
+        )
+        offset += MRT_HEADER_LENGTH
+        microseconds = 0
+        payload_length = length
+        if mrt_type == int(MrtType.BGP4MP_ET):
+            if payload_length < 4:
+                raise MrtError("BGP4MP_ET record too short for the microsecond field")
+            if offset + 4 > total:
+                raise MrtTruncatedError("truncated BGP4MP_ET microsecond field")
+            microseconds = struct.unpack("!I", data[offset:offset + 4])[0]
+            offset += 4
+            payload_length -= 4
+        if offset + payload_length > total:
+            raise MrtTruncatedError("truncated MRT record payload")
+        payload = data[offset:offset + payload_length]
+        offset += payload_length
+        yield MrtRecord(timestamp, mrt_type, subtype, payload, microseconds)
+
+
+def decode_bgp4mp_message(record: MrtRecord) -> Bgp4mpMessage:
+    """Decode a BGP4MP MESSAGE / MESSAGE_AS4 record into a :class:`Bgp4mpMessage`."""
+    if not record.is_bgp4mp:
+        raise MrtError(f"record type {record.mrt_type} is not BGP4MP")
+    as4 = record.subtype in (int(Bgp4mpSubtype.MESSAGE_AS4), int(Bgp4mpSubtype.STATE_CHANGE_AS4))
+    payload = record.payload
+    asn_width = 4 if as4 else 2
+    asn_format = "!I" if as4 else "!H"
+    offset = 0
+    if len(payload) < asn_width * 2 + 4:
+        raise MrtError("BGP4MP payload too short")
+    peer_asn = struct.unpack(asn_format, payload[offset:offset + asn_width])[0]
+    offset += asn_width
+    local_asn = struct.unpack(asn_format, payload[offset:offset + asn_width])[0]
+    offset += asn_width
+    interface_index, address_family = struct.unpack("!HH", payload[offset:offset + 4])
+    offset += 4
+    if address_family == AFI_IPV4:
+        ip_bytes, family = 4, AddressFamily.IPV4
+    elif address_family == AFI_IPV6:
+        ip_bytes, family = 16, AddressFamily.IPV6
+    else:
+        raise MrtError(f"unsupported BGP4MP address family {address_family}")
+    if offset + ip_bytes * 2 > len(payload):
+        raise MrtError("truncated BGP4MP addresses")
+    peer_ip = int.from_bytes(payload[offset:offset + ip_bytes], "big")
+    offset += ip_bytes
+    local_ip = int.from_bytes(payload[offset:offset + ip_bytes], "big")
+    offset += ip_bytes
+    update = decode_update(payload[offset:], family)
+    return Bgp4mpMessage(
+        timestamp=record.timestamp,
+        peer_asn=peer_asn,
+        local_asn=local_asn,
+        peer_ip=peer_ip,
+        local_ip=local_ip,
+        interface_index=interface_index,
+        address_family=address_family,
+        update=update,
+    )
+
+
+def decode_peer_index_table(record: MrtRecord) -> PeerIndexTable:
+    """Decode a TABLE_DUMP_V2 PEER_INDEX_TABLE record."""
+    payload = record.payload
+    if len(payload) < 6:
+        raise MrtError("PEER_INDEX_TABLE payload too short")
+    collector_bgp_id, view_length = struct.unpack("!IH", payload[:6])
+    offset = 6
+    if offset + view_length > len(payload):
+        raise MrtError("truncated PEER_INDEX_TABLE view name")
+    view_name = payload[offset:offset + view_length].decode("utf-8", errors="replace")
+    offset += view_length
+    if offset + 2 > len(payload):
+        raise MrtError("truncated PEER_INDEX_TABLE peer count")
+    (peer_count,) = struct.unpack("!H", payload[offset:offset + 2])
+    offset += 2
+    peers: list[PeerEntry] = []
+    for _ in range(peer_count):
+        if offset + 5 > len(payload):
+            raise MrtError("truncated PEER_INDEX_TABLE peer entry")
+        peer_type, bgp_id = struct.unpack("!BI", payload[offset:offset + 5])
+        offset += 5
+        ipv6 = bool(peer_type & 0x01)
+        as4 = bool(peer_type & 0x02)
+        ip_bytes = 16 if ipv6 else 4
+        asn_bytes = 4 if as4 else 2
+        if offset + ip_bytes + asn_bytes > len(payload):
+            raise MrtError("truncated PEER_INDEX_TABLE peer address/ASN")
+        peer_ip = int.from_bytes(payload[offset:offset + ip_bytes], "big")
+        offset += ip_bytes
+        peer_asn = int.from_bytes(payload[offset:offset + asn_bytes], "big")
+        offset += asn_bytes
+        peers.append(PeerEntry(bgp_id=bgp_id, peer_ip=peer_ip, peer_asn=peer_asn, ipv6=ipv6))
+    return PeerIndexTable(collector_bgp_id=collector_bgp_id, view_name=view_name, peers=tuple(peers))
+
+
+def _decode_rib_attributes(blob: bytes) -> PathAttributes:
+    """Decode the attribute blob of one TABLE_DUMP_V2 RIB entry."""
+    offset = 0
+    origin = Origin.IGP
+    as_path = ASPath()
+    next_hop = 0
+    med = None
+    local_pref = None
+    communities = CommunitySet()
+    while offset < len(blob):
+        if offset + 2 > len(blob):
+            raise MrtError("truncated RIB attribute header")
+        flags, type_code = blob[offset], blob[offset + 1]
+        offset += 2
+        if flags & FLAG_EXTENDED_LENGTH:
+            if offset + 2 > len(blob):
+                raise MrtError("truncated RIB extended attribute length")
+            (attr_len,) = struct.unpack("!H", blob[offset:offset + 2])
+            offset += 2
+        else:
+            if offset + 1 > len(blob):
+                raise MrtError("truncated RIB attribute length")
+            attr_len = blob[offset]
+            offset += 1
+        if offset + attr_len > len(blob):
+            raise MrtError("RIB attribute overflows the blob")
+        payload = blob[offset:offset + attr_len]
+        offset += attr_len
+        if type_code == AttributeTypeCode.ORIGIN and len(payload) == 1:
+            origin = Origin(payload[0])
+        elif type_code == AttributeTypeCode.AS_PATH:
+            as_path = _decode_as_path(payload)
+        elif type_code == AttributeTypeCode.NEXT_HOP and len(payload) == 4:
+            (next_hop,) = struct.unpack("!I", payload)
+        elif type_code == AttributeTypeCode.MULTI_EXIT_DISC and len(payload) == 4:
+            (med,) = struct.unpack("!I", payload)
+        elif type_code == AttributeTypeCode.LOCAL_PREF and len(payload) == 4:
+            (local_pref,) = struct.unpack("!I", payload)
+        elif type_code == AttributeTypeCode.COMMUNITIES and len(payload) % 4 == 0:
+            communities = CommunitySet(
+                Community.from_int(struct.unpack("!I", payload[i:i + 4])[0])
+                for i in range(0, len(payload), 4)
+            )
+    return PathAttributes(
+        as_path=as_path,
+        origin=origin,
+        next_hop=next_hop,
+        med=med,
+        local_pref=local_pref,
+        communities=communities,
+    )
+
+
+def decode_rib_prefix_record(record: MrtRecord) -> RibPrefixRecord:
+    """Decode a TABLE_DUMP_V2 RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record."""
+    payload = record.payload
+    family = (
+        AddressFamily.IPV4
+        if record.subtype == int(TableDumpV2Subtype.RIB_IPV4_UNICAST)
+        else AddressFamily.IPV6
+    )
+    if len(payload) < 4:
+        raise MrtError("RIB record payload too short")
+    (sequence,) = struct.unpack("!I", payload[:4])
+    prefix, offset = _decode_prefix_nlri(payload, 4, family)
+    if offset + 2 > len(payload):
+        raise MrtError("truncated RIB entry count")
+    (entry_count,) = struct.unpack("!H", payload[offset:offset + 2])
+    offset += 2
+    entries: list[RibEntry] = []
+    for _ in range(entry_count):
+        if offset + 8 > len(payload):
+            raise MrtError("truncated RIB entry header")
+        peer_index, originated_time, attr_len = struct.unpack("!HIH", payload[offset:offset + 8])
+        offset += 8
+        if offset + attr_len > len(payload):
+            raise MrtError("truncated RIB entry attributes")
+        attributes = _decode_rib_attributes(payload[offset:offset + attr_len])
+        offset += attr_len
+        entries.append(
+            RibEntry(peer_index=peer_index, originated_time=originated_time, attributes=attributes)
+        )
+    return RibPrefixRecord(sequence=sequence, prefix=prefix, entries=tuple(entries))
+
+
+class MrtReader:
+    """Iterator over decoded records of an MRT byte stream.
+
+    Yields :class:`Bgp4mpMessage`, :class:`PeerIndexTable`,
+    :class:`RibPrefixRecord`, or raw :class:`MrtRecord` objects for
+    record types the reader does not specialise.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "MrtReader":
+        """Read the whole file into memory and return a reader over it."""
+        return cls(Path(path).read_bytes())
+
+    def __iter__(self):
+        for record in iter_raw_records(self._data):
+            if record.is_bgp4mp and record.subtype in (
+                int(Bgp4mpSubtype.MESSAGE),
+                int(Bgp4mpSubtype.MESSAGE_AS4),
+            ):
+                yield decode_bgp4mp_message(record)
+            elif record.is_table_dump_v2 and record.subtype == int(
+                TableDumpV2Subtype.PEER_INDEX_TABLE
+            ):
+                yield decode_peer_index_table(record)
+            elif record.is_table_dump_v2 and record.subtype in (
+                int(TableDumpV2Subtype.RIB_IPV4_UNICAST),
+                int(TableDumpV2Subtype.RIB_IPV6_UNICAST),
+            ):
+                yield decode_rib_prefix_record(record)
+            else:
+                yield record
+
+    def messages(self) -> Iterator[Bgp4mpMessage]:
+        """Yield only the BGP4MP update messages."""
+        for item in self:
+            if isinstance(item, Bgp4mpMessage):
+                yield item
+
+
+def read_records(path: str | Path) -> list:
+    """Read and decode every record in an MRT file."""
+    return list(MrtReader.from_file(path))
+
+
+def read_stream(stream: BinaryIO) -> list:
+    """Read and decode every record from an open binary stream."""
+    return list(MrtReader(stream.read()))

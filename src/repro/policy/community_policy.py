@@ -1,0 +1,105 @@
+"""Community propagation policies.
+
+Section 4.4 of the paper finds that operators handle received
+communities in wildly different ways: "some remove all communities,
+some do not tamper with them at all, while others act upon and remove
+communities directed at them and leave the rest in place", and yet
+others forward selectively per neighbor.  Each of those behaviours is a
+policy class here; the topology generator assigns a mix of them and the
+measurement pipeline then re-discovers the mix from the dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.bgp.community import Community, CommunitySet
+
+
+class PropagationBehavior(str, Enum):
+    """Labels for the propagation behaviours used by the dataset generator."""
+
+    FORWARD_ALL = "forward_all"
+    STRIP_ALL = "strip_all"
+    STRIP_OWN = "strip_own"
+    SELECTIVE = "selective"
+
+
+class CommunityPropagationPolicy:
+    """Decides which received communities an AS forwards to a given neighbor."""
+
+    behavior: PropagationBehavior = PropagationBehavior.FORWARD_ALL
+
+    def outbound_communities(
+        self, communities: CommunitySet, own_asn: int, neighbor_asn: int
+    ) -> CommunitySet:
+        """Return the communities to attach when exporting to ``neighbor_asn``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return self.behavior.value
+
+
+@dataclass
+class ForwardAllPolicy(CommunityPropagationPolicy):
+    """Forward every received community untouched (Juniper default behaviour)."""
+
+    behavior: PropagationBehavior = PropagationBehavior.FORWARD_ALL
+
+    def outbound_communities(
+        self, communities: CommunitySet, own_asn: int, neighbor_asn: int
+    ) -> CommunitySet:
+        return communities
+
+
+@dataclass
+class StripAllPolicy(CommunityPropagationPolicy):
+    """Remove every community on export (also models Cisco with send-community unset)."""
+
+    #: If True, communities this AS added itself are still sent (its own signals).
+    keep_own: bool = True
+    behavior: PropagationBehavior = PropagationBehavior.STRIP_ALL
+
+    def outbound_communities(
+        self, communities: CommunitySet, own_asn: int, neighbor_asn: int
+    ) -> CommunitySet:
+        if self.keep_own:
+            return communities.keep_asn(own_asn)
+        return CommunitySet()
+
+
+@dataclass
+class StripOwnPolicy(CommunityPropagationPolicy):
+    """Act-and-remove: strip communities addressed to this AS, forward the rest."""
+
+    behavior: PropagationBehavior = PropagationBehavior.STRIP_OWN
+
+    def outbound_communities(
+        self, communities: CommunitySet, own_asn: int, neighbor_asn: int
+    ) -> CommunitySet:
+        return communities.remove_asn(own_asn)
+
+
+@dataclass
+class SelectivePolicy(CommunityPropagationPolicy):
+    """Forward communities only to an allow-listed set of neighbors.
+
+    To everyone else the AS strips foreign communities (it still sends
+    its own).  This models the operational practice of treating
+    customers and peers differently.
+    """
+
+    forward_to_neighbors: frozenset[int] = frozenset()
+    #: Communities always stripped regardless of neighbor (e.g. internal tags).
+    always_strip: frozenset[Community] = field(default_factory=frozenset)
+    behavior: PropagationBehavior = PropagationBehavior.SELECTIVE
+
+    def outbound_communities(
+        self, communities: CommunitySet, own_asn: int, neighbor_asn: int
+    ) -> CommunitySet:
+        remaining = communities.remove(*self.always_strip) if self.always_strip else communities
+        if neighbor_asn in self.forward_to_neighbors:
+            return remaining
+        return remaining.keep_asn(own_asn)

@@ -1,0 +1,257 @@
+"""A vendor-neutral route-map engine.
+
+Section 6.3 of the paper stresses that the order in which community
+rules are evaluated is configuration-defined, not value-defined, and
+that innocuous-looking configurations (the NANOG RTBH tutorial snippet)
+can evaluate the blackhole match before origin validation.  This module
+gives the lab experiments a small but real rule engine: ordered entries,
+match conditions over prefix/communities/neighbor, and permit/deny plus
+attribute-modifying actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.exceptions import PolicyError
+
+
+class MatchCondition:
+    """Base class of route-map match conditions."""
+
+    def matches(
+        self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int
+    ) -> bool:
+        """Return True if the announcement satisfies the condition."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MatchCommunity(MatchCondition):
+    """Match if the route carries any (or, optionally, all) listed communities."""
+
+    communities: frozenset[Community]
+    require_all: bool = False
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        present = set(attributes.communities)
+        if self.require_all:
+            return self.communities <= present
+        return bool(self.communities & present)
+
+
+@dataclass(frozen=True)
+class MatchPrefixIn(MatchCondition):
+    """Match if the announced prefix is covered by any listed prefix."""
+
+    prefixes: tuple[Prefix, ...]
+    #: Maximum allowed prefix length (ge/le style); None = exact or more specific.
+    max_length: int | None = None
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        for candidate in self.prefixes:
+            if candidate.contains_prefix(prefix):
+                if self.max_length is None or prefix.length <= self.max_length:
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class MatchNeighbor(MatchCondition):
+    """Match if the announcement arrived from one of the listed neighbors."""
+
+    neighbor_asns: frozenset[int]
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        return neighbor_asn in self.neighbor_asns
+
+
+@dataclass(frozen=True)
+class MatchPrefixLength(MatchCondition):
+    """Match prefixes whose length falls in [minimum, maximum]."""
+
+    minimum: int = 0
+    maximum: int = 32
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        return self.minimum <= prefix.length <= self.maximum
+
+
+@dataclass(frozen=True)
+class MatchAny(MatchCondition):
+    """Match everything (the catch-all entry at the end of a route map)."""
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class RouteMapResult:
+    """The outcome of running a route map over one announcement."""
+
+    permitted: bool
+    attributes: PathAttributes
+    matched_entry: "RouteMapEntry | None" = None
+    blackholed: bool = False
+
+
+SetAction = Callable[[PathAttributes], PathAttributes]
+
+
+def set_local_pref(value: int) -> SetAction:
+    """Return a set-action that overrides LOCAL_PREF."""
+    return lambda attrs: attrs.replace(local_pref=value)
+
+
+def set_blackhole_next_hop() -> SetAction:
+    """Return a set-action that rewrites the next hop to a discard address."""
+    return lambda attrs: attrs.replace(next_hop=0)
+
+
+def add_communities(*communities: Community | str | int) -> SetAction:
+    """Return a set-action that adds communities (additive semantics)."""
+    return lambda attrs: attrs.with_communities_added(communities)
+
+
+def delete_communities(*communities: Community | str | int) -> SetAction:
+    """Return a set-action that removes specific communities."""
+    return lambda attrs: attrs.with_communities_removed(communities)
+
+
+def strip_all_communities() -> SetAction:
+    """Return a set-action that removes every community."""
+    return lambda attrs: attrs.without_communities()
+
+
+def prepend_as(asn: int, count: int) -> SetAction:
+    """Return a set-action that prepends ``asn`` ``count`` times."""
+    return lambda attrs: attrs.with_prepend(asn, count)
+
+
+@dataclass
+class RouteMapEntry:
+    """One numbered route-map entry: conditions, permit/deny, and set actions."""
+
+    sequence: int
+    permit: bool = True
+    conditions: tuple[MatchCondition, ...] = (MatchAny(),)
+    set_actions: tuple[SetAction, ...] = ()
+    mark_blackhole: bool = False
+    description: str = ""
+
+    def matches(self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int) -> bool:
+        """True if every condition matches (AND semantics, like real route maps)."""
+        return all(c.matches(prefix, attributes, neighbor_asn) for c in self.conditions)
+
+    def apply(self, attributes: PathAttributes) -> PathAttributes:
+        """Apply the set actions in order and return the new attributes."""
+        for action in self.set_actions:
+            attributes = action(attributes)
+        return attributes
+
+
+class RouteMap:
+    """An ordered sequence of route-map entries with first-match-wins semantics."""
+
+    def __init__(self, name: str, entries: Sequence[RouteMapEntry] = ()):
+        self.name = name
+        self._entries: list[RouteMapEntry] = []
+        for entry in entries:
+            self.add_entry(entry)
+
+    def add_entry(self, entry: RouteMapEntry) -> None:
+        """Append an entry; sequence numbers must be strictly increasing."""
+        if self._entries and entry.sequence <= self._entries[-1].sequence:
+            raise PolicyError(
+                f"route-map {self.name}: sequence {entry.sequence} is not greater than "
+                f"{self._entries[-1].sequence}"
+            )
+        self._entries.append(entry)
+
+    @property
+    def entries(self) -> list[RouteMapEntry]:
+        """The ordered entries."""
+        return list(self._entries)
+
+    def evaluate(
+        self, prefix: Prefix, attributes: PathAttributes, neighbor_asn: int = 0
+    ) -> RouteMapResult:
+        """Run the route map; an announcement matching no entry is denied.
+
+        This mirrors vendor behaviour: route maps end with an implicit
+        deny.
+        """
+        for entry in self._entries:
+            if entry.matches(prefix, attributes, neighbor_asn):
+                if not entry.permit:
+                    return RouteMapResult(False, attributes, matched_entry=entry)
+                return RouteMapResult(
+                    True,
+                    entry.apply(attributes),
+                    matched_entry=entry,
+                    blackholed=entry.mark_blackhole,
+                )
+        return RouteMapResult(False, attributes, matched_entry=None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def nanog_rtbh_route_map(
+    name: str,
+    blackhole_communities: frozenset[Community],
+    customer_prefixes: tuple[Prefix, ...],
+    validate_before_blackhole: bool = False,
+) -> RouteMap:
+    """Build the two variants of the NANOG-tutorial RTBH route map.
+
+    With ``validate_before_blackhole=False`` (the published snippet) the
+    blackhole-community entry matches *any* prefix tagged with the
+    blackhole community — including hijacks of space the neighbor has no
+    authority over — before the customer-prefix validation entry is ever
+    reached.  With ``validate_before_blackhole=True`` the blackhole entry
+    additionally requires the prefix to fall inside the accepted customer
+    space, so the hijack is dropped.
+    """
+    blackhole_conditions: tuple[MatchCondition, ...] = (
+        MatchCommunity(blackhole_communities),
+        MatchPrefixLength(24, 32),
+    )
+    if validate_before_blackhole:
+        blackhole_conditions = blackhole_conditions + (MatchPrefixIn(customer_prefixes),)
+    blackhole_entry = RouteMapEntry(
+        sequence=0,  # placeholder; replaced below
+        permit=True,
+        conditions=blackhole_conditions,
+        set_actions=(set_local_pref(200), set_blackhole_next_hop()),
+        mark_blackhole=True,
+        description="accept and blackhole routes tagged with the RTBH community",
+    )
+    validation_entry = RouteMapEntry(
+        sequence=0,  # placeholder; replaced below
+        permit=True,
+        conditions=(MatchPrefixIn(customer_prefixes, max_length=24),),
+        description="accept customer prefixes",
+    )
+    if validate_before_blackhole:
+        ordered = [validation_entry, blackhole_entry]
+    else:
+        ordered = [blackhole_entry, validation_entry]
+    entries = []
+    for i, entry in enumerate(ordered, start=1):
+        entries.append(
+            RouteMapEntry(
+                sequence=i * 10,
+                permit=entry.permit,
+                conditions=entry.conditions,
+                set_actions=entry.set_actions,
+                mark_blackhole=entry.mark_blackhole,
+                description=entry.description,
+            )
+        )
+    return RouteMap(name, entries)

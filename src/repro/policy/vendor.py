@@ -1,0 +1,89 @@
+"""Router vendor behaviour profiles.
+
+Section 6.1 of the paper distils the lab findings into a handful of
+behavioural differences between the two dominant vendors:
+
+* both accept updates carrying communities by default;
+* only Juniper *propagates* communities to neighbors by default — Cisco
+  requires explicit ``send-community`` per neighbor or peer group;
+* both sort communities numerically when displaying and sending;
+* Cisco limits a single configuration statement to adding 32 distinct
+  communities to a prefix;
+* a BGP update can carry at most 2^16 / 4 = 16K communities.
+
+A :class:`VendorProfile` bundles these switches so the routing
+simulator can be populated with a realistic vendor mix and the lab
+benchmark can ablate each behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bgp.attributes import CISCO_MAX_ADDED_COMMUNITIES, MAX_COMMUNITIES_PER_UPDATE
+from repro.exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Behavioural switches of a router platform."""
+
+    name: str
+    #: Are received communities propagated to neighbors without explicit config?
+    send_communities_by_default: bool
+    #: Maximum communities a single policy statement may add to a prefix.
+    max_added_communities: int
+    #: Maximum communities an update can carry at all.
+    max_communities_per_update: int = MAX_COMMUNITIES_PER_UPDATE
+    #: Are communities numerically sorted on display/send? (both vendors do)
+    normalizes_community_order: bool = True
+    #: Does the platform accept updates that carry communities? (both do)
+    accepts_communities: bool = True
+
+    def effective_send_communities(self, explicitly_configured: bool) -> bool:
+        """Return whether communities are sent to a neighbor.
+
+        ``explicitly_configured`` models the operator adding
+        ``send-community`` (Cisco) or an export policy (Juniper).
+        """
+        return self.send_communities_by_default or explicitly_configured
+
+    def check_added_communities(self, count: int) -> None:
+        """Raise :class:`PolicyError` if a statement adds more communities than allowed."""
+        if count > self.max_added_communities:
+            raise PolicyError(
+                f"{self.name} permits adding at most {self.max_added_communities} communities "
+                f"in one statement, got {count}"
+            )
+
+
+#: Cisco IOS / IOS XE behaviour: communities accepted but only sent when
+#: ``send-community`` is configured; 32-community add limit.
+CISCO_PROFILE = VendorProfile(
+    name="cisco-ios",
+    send_communities_by_default=False,
+    max_added_communities=CISCO_MAX_ADDED_COMMUNITIES,
+)
+
+#: JunOS behaviour: communities propagated by default.
+JUNIPER_PROFILE = VendorProfile(
+    name="junos",
+    send_communities_by_default=True,
+    max_added_communities=MAX_COMMUNITIES_PER_UPDATE,
+)
+
+#: All built-in profiles by name.
+BUILTIN_PROFILES = {
+    CISCO_PROFILE.name: CISCO_PROFILE,
+    JUNIPER_PROFILE.name: JUNIPER_PROFILE,
+}
+
+
+def profile_by_name(name: str) -> VendorProfile:
+    """Look up a built-in vendor profile."""
+    try:
+        return BUILTIN_PROFILES[name]
+    except KeyError as exc:
+        raise PolicyError(
+            f"unknown vendor profile {name!r}; available: {sorted(BUILTIN_PROFILES)}"
+        ) from exc

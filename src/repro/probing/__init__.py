@@ -1,0 +1,14 @@
+"""Active measurement: Atlas-like vantage points, looking glasses, IP-to-AS mapping."""
+
+from repro.probing.atlas import AtlasPlatform, ProbeMeasurement, VantagePoint
+from repro.probing.looking_glass import LookingGlass, LookingGlassEntry
+from repro.probing.ip2as import Ip2AsMapper
+
+__all__ = [
+    "AtlasPlatform",
+    "ProbeMeasurement",
+    "VantagePoint",
+    "LookingGlass",
+    "LookingGlassEntry",
+    "Ip2AsMapper",
+]

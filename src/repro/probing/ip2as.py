@@ -1,0 +1,60 @@
+"""Naive IP-to-AS mapping from a routing table.
+
+Section 7.6 maps traceroute hops to AS numbers "using a current
+routeview routing table" to lower-bound how many AS hops a blackhole
+community traversed; :class:`Ip2AsMapper` reproduces that step over the
+simulated origins.
+"""
+
+from __future__ import annotations
+
+from repro.bgp.prefix import Prefix
+from repro.collectors.observation import ObservationArchive
+from repro.topology.topology import Topology
+
+
+class Ip2AsMapper:
+    """Longest-prefix-match mapping of addresses to origin ASes."""
+
+    def __init__(self, table: dict[Prefix, int] | None = None):
+        self._table: dict[Prefix, int] = dict(table or {})
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "Ip2AsMapper":
+        """Build the mapping from the topology's legitimate prefix ownership."""
+        return cls(topology.originated_prefixes())
+
+    @classmethod
+    def from_archive(cls, archive: ObservationArchive) -> "Ip2AsMapper":
+        """Build the mapping from observed routes (origin = last AS on the path)."""
+        table: dict[Prefix, int] = {}
+        for observation in archive:
+            origin = observation.origin_asn
+            if origin is not None:
+                table[observation.prefix] = origin
+        return cls(table)
+
+    def add(self, prefix: Prefix, asn: int) -> None:
+        """Add one mapping entry."""
+        self._table[prefix] = asn
+
+    def lookup(self, address: int) -> int | None:
+        """Return the origin AS of the longest matching prefix (None if unmapped)."""
+        best_asn: int | None = None
+        best_length = -1
+        for prefix, asn in self._table.items():
+            if prefix.contains_address(address) and prefix.length > best_length:
+                best_asn, best_length = asn, prefix.length
+        return best_asn
+
+    def lookup_prefix(self, prefix: Prefix) -> int | None:
+        """Return the origin AS of the longest prefix covering ``prefix``."""
+        best_asn: int | None = None
+        best_length = -1
+        for candidate, asn in self._table.items():
+            if candidate.contains_prefix(prefix) and candidate.length > best_length:
+                best_asn, best_length = asn, candidate.length
+        return best_asn
+
+    def __len__(self) -> int:
+        return len(self._table)

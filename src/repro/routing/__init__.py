@@ -1,0 +1,17 @@
+"""BGP routing simulation: decision process, per-AS routers, propagation engine."""
+
+from repro.routing.decision import best_path, compare_routes
+from repro.routing.router import Router, ImportResult
+from repro.routing.engine import BgpSimulator, SimulationReport
+from repro.routing.route_server import RouteServer, RouteServerDecision
+
+__all__ = [
+    "best_path",
+    "compare_routes",
+    "Router",
+    "ImportResult",
+    "BgpSimulator",
+    "SimulationReport",
+    "RouteServer",
+    "RouteServerDecision",
+]

@@ -1,0 +1,53 @@
+"""The BGP best-path decision process.
+
+Implements the standard preference order the paper's scenarios depend
+on: LOCAL_PREF first (which is how blackhole and "customer backup"
+communities override everything else), then AS-path length (which is
+what path prepending manipulates), then origin code, MED, and finally a
+deterministic neighbor-ASN tie-break so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bgp.route import RouteEntry
+
+
+def _comparison_key(entry: RouteEntry) -> tuple:
+    """Return a sort key; *smaller* keys are more preferred."""
+    return (
+        -entry.attributes.effective_local_pref(),
+        entry.attributes.path_length(),
+        int(entry.attributes.origin),
+        entry.attributes.med if entry.attributes.med is not None else 0,
+        entry.learned_from,
+    )
+
+
+def compare_routes(a: RouteEntry, b: RouteEntry) -> int:
+    """Return -1 if ``a`` is preferred over ``b``, 1 if ``b`` wins, 0 if equal keys."""
+    key_a, key_b = _comparison_key(a), _comparison_key(b)
+    if key_a < key_b:
+        return -1
+    if key_a > key_b:
+        return 1
+    return 0
+
+
+def best_path(candidates: Iterable[RouteEntry]) -> RouteEntry | None:
+    """Return the most preferred route among ``candidates`` (None if empty).
+
+    Rejected routes never win; if every candidate is rejected the result
+    is None.
+    """
+    viable = [c for c in candidates if not c.rejected]
+    if not viable:
+        return None
+    return min(viable, key=_comparison_key)
+
+
+def rank_routes(candidates: Sequence[RouteEntry]) -> list[RouteEntry]:
+    """Return the viable candidates ordered from most to least preferred."""
+    viable = [c for c in candidates if not c.rejected]
+    return sorted(viable, key=_comparison_key)

@@ -1,0 +1,170 @@
+"""The propagation engine: drive announcements through the AS graph to convergence.
+
+The simulator is synchronous and deterministic: announcements are
+processed in waves (per-prefix BFS order is implied by the queue), and a
+wave only re-exports routes whose best path actually changed, so the
+process terminates once the network is stable.  Determinism matters
+because every benchmark compares concrete numbers run-to-run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Announcement
+from repro.exceptions import ConvergenceError, RoutingError
+from repro.routing.router import Router
+from repro.topology.relationships import Relationship
+from repro.topology.topology import Topology
+
+
+@dataclass
+class SimulationReport:
+    """Book-keeping of one simulation run."""
+
+    announcements_processed: int = 0
+    rounds: int = 0
+    prefixes: set[Prefix] = field(default_factory=set)
+
+    def merge(self, other: "SimulationReport") -> None:
+        """Accumulate another report into this one."""
+        self.announcements_processed += other.announcements_processed
+        self.rounds += other.rounds
+        self.prefixes |= other.prefixes
+
+
+class BgpSimulator:
+    """Builds one :class:`Router` per AS and propagates announcements to convergence."""
+
+    def __init__(self, topology: Topology, max_rounds: int = 1000):
+        self.topology = topology
+        self.max_rounds = max_rounds
+        self.routers: dict[int, Router] = {}
+        self.report = SimulationReport()
+        for asys in topology:
+            relationships = {
+                neighbor: topology.relationship(asys.asn, neighbor)
+                for neighbor in topology.neighbors(asys.asn)
+            }
+            self.routers[asys.asn] = Router(asys, relationships)
+
+    def router(self, asn: int) -> Router:
+        """Return the router of ``asn``."""
+        try:
+            return self.routers[asn]
+        except KeyError as exc:
+            raise RoutingError(f"no router for AS{asn}") from exc
+
+    # ---------------------------------------------------------------- peering
+    def register_collector_peering(self, peer_asn: int, collector_asn: int) -> None:
+        """Register a route-collector session on ``peer_asn``.
+
+        The collector is modelled as a customer-like session so the peer
+        exports its full table; the collector AS itself does not need a
+        router (it only records what it receives).
+        """
+        router = self.router(peer_asn)
+        router.neighbor_relationships.setdefault(collector_asn, Relationship.CUSTOMER)
+
+    # ------------------------------------------------------------ origination
+    def announce(
+        self,
+        origin_asn: int,
+        prefix: Prefix,
+        communities: CommunitySet | None = None,
+        spoofed_origin_asn: int | None = None,
+    ) -> SimulationReport:
+        """Originate ``prefix`` at ``origin_asn`` and propagate to convergence.
+
+        ``spoofed_origin_asn`` lets an attacker claim a different origin
+        (a hijack with a fabricated origin); by default the announcing AS
+        is the origin.
+        """
+        router = self.router(origin_asn)
+        router.originate(prefix, communities=communities, origin_asn=spoofed_origin_asn)
+        return self._propagate_from(origin_asn, prefix)
+
+    def withdraw(self, origin_asn: int, prefix: Prefix) -> SimulationReport:
+        """Withdraw an origination and re-propagate."""
+        router = self.router(origin_asn)
+        router.withdraw_origination(prefix)
+        return self._propagate_withdrawal(origin_asn, prefix)
+
+    # -------------------------------------------------------------- propagation
+    def _propagate_from(self, start_asn: int, prefix: Prefix) -> SimulationReport:
+        """Propagate export/import waves for one prefix until no best path changes."""
+        report = SimulationReport()
+        report.prefixes.add(prefix)
+        queue: deque[int] = deque([start_asn])
+        rounds = 0
+        while queue:
+            rounds += 1
+            if rounds > self.max_rounds * max(1, len(self.routers)):
+                raise ConvergenceError(
+                    f"prefix {prefix} did not converge after {rounds} processing steps"
+                )
+            current_asn = queue.popleft()
+            current = self.routers.get(current_asn)
+            if current is None:
+                continue
+            for neighbor_asn in current.neighbors():
+                neighbor = self.routers.get(neighbor_asn)
+                if neighbor is None:
+                    continue
+                decision = current.export_to(neighbor_asn, prefix)
+                previous = neighbor.adj_rib_in.get(current_asn)
+                had_route = previous is not None and previous.get(prefix) is not None
+                if decision.export and decision.announcement is not None:
+                    result = neighbor.process_announcement(decision.announcement)
+                    report.announcements_processed += 1
+                    if result.best_changed:
+                        queue.append(neighbor_asn)
+                elif had_route:
+                    changed = neighbor.process_withdrawal(prefix, current_asn)
+                    report.announcements_processed += 1
+                    if changed:
+                        queue.append(neighbor_asn)
+        report.rounds = rounds
+        self.report.merge(report)
+        return report
+
+    def _propagate_withdrawal(self, start_asn: int, prefix: Prefix) -> SimulationReport:
+        """Propagate the removal of a route."""
+        return self._propagate_from(start_asn, prefix)
+
+    # ------------------------------------------------------------- inspection
+    def best_route(self, asn: int, prefix: Prefix):
+        """Return the best route of ``asn`` for exactly ``prefix``."""
+        return self.router(asn).loc_rib.best(prefix)
+
+    def best_route_for_address(self, asn: int, address: int):
+        """Longest-prefix-match lookup at ``asn`` for an integer address."""
+        return self.router(asn).loc_rib.lookup(address)
+
+    def ases_with_route(self, prefix: Prefix) -> list[int]:
+        """Return every AS holding a best route for exactly ``prefix``."""
+        return sorted(
+            asn for asn, router in self.routers.items() if router.loc_rib.best(prefix) is not None
+        )
+
+    def ases_with_blackholed_route(self, prefix: Prefix) -> list[int]:
+        """Return every AS whose best route for ``prefix`` is blackholed."""
+        return sorted(
+            asn
+            for asn, router in self.routers.items()
+            if (best := router.loc_rib.best(prefix)) is not None and best.blackholed
+        )
+
+    def observed_path(self, asn: int, prefix: Prefix) -> list[int] | None:
+        """Return the AS path (observer first, origin last) seen at ``asn``."""
+        best = self.router(asn).loc_rib.best(prefix)
+        if best is None:
+            return None
+        return [asn] + best.attributes.as_path.asns()
+
+    def converged_prefixes(self) -> set[Prefix]:
+        """Return every prefix that has been announced so far."""
+        return set(self.report.prefixes)

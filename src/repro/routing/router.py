@@ -1,0 +1,362 @@
+"""The per-AS router: import processing, best-path selection, export processing.
+
+A :class:`Router` models one AS's control plane at the granularity the
+paper's scenarios need:
+
+* **import**: loop prevention, inbound prefix/IRR filters (including the
+  blackhole-before-validation misconfiguration), and application of the
+  AS's own community services (prepend, local-pref, blackhole, selective
+  announce, suppress), gated by business relationship when the service
+  is documented as customers-only;
+* **selection**: the standard decision process over all neighbors'
+  Adj-RIB-In entries;
+* **export**: Gao-Rexford relationship rules, per-route restrictions set
+  by community actions, NO_EXPORT handling, community propagation policy
+  and vendor defaults, own-ASN prepending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.community import NO_ADVERTISE, NO_EXPORT, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.bgp.rib import AdjRibIn, LocRib, RibSnapshot
+from repro.bgp.route import Announcement, RouteEntry
+from repro.exceptions import RoutingError
+from repro.policy.actions import ActionType
+from repro.policy.community_policy import CommunityPropagationPolicy, ForwardAllPolicy
+from repro.policy.filters import FilterDecision, InboundFilterChain
+from repro.policy.services import CommunityServiceCatalog
+from repro.policy.vendor import JUNIPER_PROFILE, VendorProfile
+from repro.routing.decision import best_path
+from repro.topology.asys import AutonomousSystem
+from repro.topology.relationships import Relationship
+
+
+@dataclass
+class ImportResult:
+    """Outcome of importing one announcement."""
+
+    accepted: bool
+    entry: RouteEntry | None = None
+    reason: str = ""
+    triggered_services: list[ActionType] = field(default_factory=list)
+    #: True if this import changed the best route for the prefix.
+    best_changed: bool = False
+
+
+@dataclass
+class ExportDecision:
+    """Outcome of deciding whether/how to export a route to one neighbor."""
+
+    export: bool
+    announcement: Announcement | None = None
+    reason: str = ""
+
+
+class Router:
+    """The BGP speaker of one AS."""
+
+    def __init__(
+        self,
+        asys: AutonomousSystem,
+        neighbor_relationships: dict[int, Relationship],
+        propagation_policy: CommunityPropagationPolicy | None = None,
+        services: CommunityServiceCatalog | None = None,
+        vendor: VendorProfile | None = None,
+        inbound_filters: InboundFilterChain | None = None,
+        send_community_configured: bool = True,
+    ):
+        self.asys = asys
+        self.asn = asys.asn
+        self.neighbor_relationships = dict(neighbor_relationships)
+        self.propagation_policy = propagation_policy or asys.propagation_policy or ForwardAllPolicy()
+        self.services = services or asys.services
+        self.vendor = vendor or asys.vendor or JUNIPER_PROFILE
+        self.inbound_filters = inbound_filters or InboundFilterChain(
+            validate_origin=asys.validates_origin,
+            blackhole_before_validation=asys.blackhole_before_validation,
+        )
+        #: Whether the operator explicitly configured community sending
+        #: (matters only for vendors that do not send by default).
+        self.send_community_configured = send_community_configured
+        self.adj_rib_in: dict[int, AdjRibIn] = {
+            asn: AdjRibIn(asn) for asn in self.neighbor_relationships
+        }
+        self.loc_rib = LocRib()
+        #: Prefixes this router originates, with the attributes it uses.
+        self.originated: dict[Prefix, PathAttributes] = {}
+        #: Communities added on export towards specific neighbors.  This is how
+        #: an on-path attacker tags somebody else's prefix with a remote AS's
+        #: service community on selected sessions (Figures 2, 7(a) and 8(b)).
+        self.export_community_additions: dict[int, CommunitySet] = {}
+
+    # ---------------------------------------------------------------- helpers
+    def relationship_with(self, neighbor_asn: int) -> Relationship | None:
+        """Relationship from this AS's point of view (None if not a neighbor)."""
+        return self.neighbor_relationships.get(neighbor_asn)
+
+    def neighbors(self) -> list[int]:
+        """All neighbor ASNs."""
+        return sorted(self.neighbor_relationships)
+
+    def snapshot(self) -> RibSnapshot:
+        """A looking-glass view of the current best routes."""
+        return RibSnapshot.from_loc_rib(self.asn, self.loc_rib)
+
+    # ------------------------------------------------------------- origination
+    def originate(
+        self,
+        prefix: Prefix,
+        communities: CommunitySet | None = None,
+        local_pref: int | None = None,
+        origin_asn: int | None = None,
+    ) -> RouteEntry:
+        """Originate ``prefix`` locally (optionally spoofing ``origin_asn`` for hijacks).
+
+        The AS path of an originated route is just the origin ASN; the
+        router's own ASN is prepended on export like any other route, so
+        announcing with a spoofed origin yields path ``self_asn origin_asn``
+        downstream unless ``origin_asn`` equals ``self.asn``.
+        """
+        from repro.bgp.aspath import ASPath
+
+        effective_origin = origin_asn if origin_asn is not None else self.asn
+        as_path = ASPath.of(effective_origin) if effective_origin != self.asn else ASPath.of()
+        attributes = PathAttributes(
+            as_path=as_path,
+            communities=communities or CommunitySet(),
+            local_pref=local_pref,
+        )
+        self.originated[prefix] = attributes
+        entry = RouteEntry(prefix=prefix, attributes=attributes, learned_from=self.asn)
+        self._refresh_best(prefix)
+        return entry
+
+    def withdraw_origination(self, prefix: Prefix) -> None:
+        """Stop originating ``prefix``."""
+        self.originated.pop(prefix, None)
+        self._refresh_best(prefix)
+
+    # ----------------------------------------------------------------- import
+    def process_announcement(self, announcement: Announcement) -> ImportResult:
+        """Import one announcement from a neighbor; returns what happened."""
+        sender = announcement.sender_asn
+        if sender not in self.neighbor_relationships:
+            raise RoutingError(f"AS{self.asn} received an announcement from non-neighbor AS{sender}")
+
+        attributes = announcement.attributes
+        # Loop prevention: reject routes already containing our ASN.
+        if attributes.as_path.contains(self.asn):
+            return ImportResult(False, reason="as-path loop")
+
+        is_blackhole_tagged = self._is_blackhole_tagged(attributes.communities)
+        decision = self.inbound_filters.evaluate(
+            announcement.prefix, announcement.origin_asn, is_blackhole_tagged
+        )
+        if not decision:
+            entry = RouteEntry(
+                prefix=announcement.prefix,
+                attributes=attributes,
+                learned_from=sender,
+                rejected=True,
+                rejection_reason=decision.reason,
+            )
+            self.adj_rib_in[sender].update(entry)
+            changed = self._refresh_best(announcement.prefix)
+            return ImportResult(False, entry=entry, reason=decision.reason, best_changed=changed)
+
+        # eBGP: LOCAL_PREF is not accepted from neighbors; reset to default so
+        # only this AS's own policies (community services) can set it.
+        attributes = attributes.replace(local_pref=None)
+
+        entry = RouteEntry(
+            prefix=announcement.prefix, attributes=attributes, learned_from=sender
+        )
+        entry, triggered = self._apply_community_services(entry)
+        self.adj_rib_in[sender].update(entry)
+        changed = self._refresh_best(announcement.prefix)
+        return ImportResult(True, entry=entry, triggered_services=triggered, best_changed=changed)
+
+    def process_withdrawal(self, prefix: Prefix, sender_asn: int) -> bool:
+        """Withdraw a neighbor's route for ``prefix``; return True if best changed."""
+        rib = self.adj_rib_in.get(sender_asn)
+        if rib is not None:
+            rib.withdraw(prefix)
+        return self._refresh_best(prefix)
+
+    def _is_blackhole_tagged(self, communities: CommunitySet) -> bool:
+        """True if the announcement carries a blackhole community relevant here."""
+        if communities.blackhole_communities():
+            return True
+        if self.services is not None:
+            return any(c in communities for c in self.services.blackhole_communities())
+        return False
+
+    def _apply_community_services(self, entry: RouteEntry) -> tuple[RouteEntry, list[ActionType]]:
+        """Apply this AS's own community services to an imported route."""
+        triggered: list[ActionType] = []
+        if self.services is None:
+            return entry, triggered
+        relationship = self.relationship_with(entry.learned_from)
+        attributes = entry.attributes
+        blackholed = entry.blackholed
+        export_prepend = entry.export_prepend
+        suppress_to = set(entry.suppress_to)
+        announce_only_to = entry.announce_only_to
+
+        for service in self.services.matching(attributes.communities):
+            if (
+                service.customers_only
+                and relationship != Relationship.CUSTOMER
+                and not self.asys.act_on_communities_from_any_neighbor
+            ):
+                continue
+            outcome = service.action.apply(attributes, self.asn)
+            if service.action_type == ActionType.PREPEND:
+                # Prepending is applied on export, not on the locally stored path,
+                # so the community does not distort this AS's own selection.
+                export_prepend += getattr(service.action, "count", 1)
+            else:
+                attributes = outcome.attributes
+            blackholed = blackholed or outcome.blackholed
+            suppress_to |= set(outcome.suppress_to)
+            if outcome.announce_only_to is not None:
+                if announce_only_to is None:
+                    announce_only_to = outcome.announce_only_to
+                else:
+                    announce_only_to = frozenset(announce_only_to & outcome.announce_only_to)
+            triggered.append(service.action_type)
+
+        new_entry = entry.replace(
+            attributes=attributes,
+            blackholed=blackholed,
+            export_prepend=export_prepend,
+            suppress_to=frozenset(suppress_to),
+            announce_only_to=announce_only_to,
+        )
+        return new_entry, triggered
+
+    # -------------------------------------------------------------- selection
+    def _candidates(self, prefix: Prefix) -> list[RouteEntry]:
+        """All candidate routes for ``prefix`` (originated + received)."""
+        candidates: list[RouteEntry] = []
+        originated = self.originated.get(prefix)
+        if originated is not None:
+            candidates.append(
+                RouteEntry(prefix=prefix, attributes=originated, learned_from=self.asn)
+            )
+        for rib in self.adj_rib_in.values():
+            entry = rib.get(prefix)
+            if entry is not None:
+                candidates.append(entry)
+        return candidates
+
+    def _refresh_best(self, prefix: Prefix) -> bool:
+        """Recompute the best route for ``prefix``; return True if it changed."""
+        candidates = self._candidates(prefix)
+        previous = self.loc_rib.best(prefix)
+        new_best = best_path(candidates)
+        self.loc_rib.set_candidates(prefix, candidates)
+        self.loc_rib.set_best(prefix, new_best)
+        if previous is None and new_best is None:
+            return False
+        if previous is None or new_best is None:
+            return True
+        return (
+            previous.attributes != new_best.attributes
+            or previous.learned_from != new_best.learned_from
+            or previous.blackholed != new_best.blackholed
+        )
+
+    def refresh_all(self) -> list[Prefix]:
+        """Recompute every prefix's best route; return prefixes whose best changed."""
+        prefixes: set[Prefix] = set(self.originated)
+        for rib in self.adj_rib_in.values():
+            prefixes.update(rib.prefixes())
+        return [p for p in prefixes if self._refresh_best(p)]
+
+    # ----------------------------------------------------------------- export
+    def export_to(self, neighbor_asn: int, prefix: Prefix) -> ExportDecision:
+        """Decide whether and how the current best route for ``prefix`` is exported."""
+        relationship_out = self.relationship_with(neighbor_asn)
+        if relationship_out is None:
+            return ExportDecision(False, reason=f"AS{neighbor_asn} is not a neighbor")
+        best = self.loc_rib.best(prefix)
+        if best is None:
+            return ExportDecision(False, reason="no best route")
+        if best.blackholed:
+            # Traffic is dropped here; the blackholed route itself is still a
+            # candidate for export in real deployments, but most operators
+            # scope blackhole routes with NO_EXPORT.  We keep exporting so
+            # multi-hop blackhole propagation (observed in the wild) is possible.
+            pass
+        # Do not send a route back to the neighbor we learned it from.
+        if best.learned_from == neighbor_asn:
+            return ExportDecision(False, reason="split horizon")
+        # Well-known scoping communities.
+        if NO_ADVERTISE in best.attributes.communities:
+            return ExportDecision(False, reason="NO_ADVERTISE")
+        if NO_EXPORT in best.attributes.communities:
+            return ExportDecision(False, reason="NO_EXPORT")
+        if (
+            self.relationship_with(neighbor_asn) == Relationship.PEER
+            and "65535:65284" in [str(c) for c in best.attributes.communities]
+        ):
+            return ExportDecision(False, reason="NO_PEER")
+        # Restrictions set by community actions at this AS.
+        if neighbor_asn in best.suppress_to:
+            return ExportDecision(False, reason="suppressed by community action")
+        if best.announce_only_to is not None and neighbor_asn not in best.announce_only_to:
+            return ExportDecision(False, reason="not in selective-announce set")
+        # Gao-Rexford export rule.
+        relationship_in = (
+            None
+            if best.learned_from == self.asn
+            else self.relationship_with(best.learned_from)
+        )
+        if relationship_in in (Relationship.PEER, Relationship.PROVIDER):
+            if relationship_out != Relationship.CUSTOMER:
+                return ExportDecision(False, reason="valley-free export rule")
+
+        # Build the outbound attributes.
+        attributes = best.attributes
+        # Communities: propagation policy decides what is forwarded; vendors
+        # that do not send communities by default strip everything unless
+        # explicitly configured.
+        if not self.vendor.effective_send_communities(self.send_community_configured):
+            outbound_communities = CommunitySet()
+        else:
+            outbound_communities = self.propagation_policy.outbound_communities(
+                attributes.communities, self.asn, neighbor_asn
+            )
+        additions = self.export_community_additions.get(neighbor_asn)
+        if additions:
+            outbound_communities = outbound_communities.union(additions)
+        prepend_count = 1 + best.export_prepend
+        outbound_path = attributes.as_path.prepend(self.asn, prepend_count)
+        outbound_attributes = attributes.replace(
+            as_path=outbound_path,
+            communities=outbound_communities,
+            local_pref=None,
+            med=None,
+        )
+        origin_asn = attributes.as_path.origin_asn or self.asn
+        announcement = Announcement(
+            prefix=prefix,
+            attributes=outbound_attributes,
+            sender_asn=self.asn,
+            origin_asn=origin_asn,
+        )
+        return ExportDecision(True, announcement=announcement)
+
+    def export_all_to(self, neighbor_asn: int) -> list[Announcement]:
+        """Export every best route to one neighbor (used for collector feeds)."""
+        announcements = []
+        for prefix in self.loc_rib.prefixes():
+            decision = self.export_to(neighbor_asn, prefix)
+            if decision.export and decision.announcement is not None:
+                announcements.append(decision.announcement)
+        return announcements

@@ -1,0 +1,36 @@
+"""AS-level Internet topology: relationships, AS nodes, IXPs, generation, queries."""
+
+from repro.topology.relationships import (
+    Relationship,
+    RelationshipDataset,
+    parse_caida_line,
+    format_caida_line,
+)
+from repro.topology.asys import AutonomousSystem, AsRole
+from repro.topology.ixp import Ixp, RouteServerConfig
+from repro.topology.topology import Topology
+from repro.topology.generator import TopologyGenerator, TopologyParameters
+from repro.topology.graph import (
+    classify_roles,
+    valley_free_paths,
+    shortest_valley_free_path,
+    transit_degree,
+)
+
+__all__ = [
+    "Relationship",
+    "RelationshipDataset",
+    "parse_caida_line",
+    "format_caida_line",
+    "AutonomousSystem",
+    "AsRole",
+    "Ixp",
+    "RouteServerConfig",
+    "Topology",
+    "TopologyGenerator",
+    "TopologyParameters",
+    "classify_roles",
+    "valley_free_paths",
+    "shortest_valley_free_path",
+    "transit_degree",
+]

@@ -1,0 +1,180 @@
+"""AS business relationships and the CAIDA serialisation format.
+
+The paper uses the CAIDA AS-relationship dataset to classify AS edges
+into customer-provider and peer-peer links (Section 4.4).  This module
+models the relationship types, a dataset container, and the standard
+``<provider>|<customer>|-1`` / ``<peer>|<peer>|0`` text format so real
+CAIDA files can be loaded alongside generated topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import TopologyError
+
+
+class Relationship(IntEnum):
+    """Business relationship of an AS edge, from the first AS's point of view."""
+
+    #: The other AS is my customer (I provide transit to them).
+    CUSTOMER = -1
+    #: The other AS is a settlement-free peer.
+    PEER = 0
+    #: The other AS is my provider (they provide transit to me).
+    PROVIDER = 1
+
+    def inverse(self) -> "Relationship":
+        """Return the relationship from the other AS's point of view."""
+        if self == Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self == Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+@dataclass(frozen=True)
+class RelationshipEdge:
+    """A directed relationship record: ``asn_a`` sees ``asn_b`` as ``relationship``."""
+
+    asn_a: int
+    asn_b: int
+    relationship: Relationship
+
+
+def parse_caida_line(line: str) -> RelationshipEdge | None:
+    """Parse one line of a CAIDA as-rel file; return None for comments/blank lines.
+
+    Format: ``provider|customer|-1`` or ``peer|peer|0`` (optionally with a
+    trailing source field).
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split("|")
+    if len(parts) < 3:
+        raise TopologyError(f"malformed CAIDA relationship line {line!r}")
+    try:
+        asn_a, asn_b, code = int(parts[0]), int(parts[1]), int(parts[2])
+    except ValueError as exc:
+        raise TopologyError(f"malformed CAIDA relationship line {line!r}") from exc
+    if code == -1:
+        # asn_a is the provider of asn_b: from asn_a's view, asn_b is a customer.
+        return RelationshipEdge(asn_a, asn_b, Relationship.CUSTOMER)
+    if code == 0:
+        return RelationshipEdge(asn_a, asn_b, Relationship.PEER)
+    raise TopologyError(f"unknown relationship code {code} in line {line!r}")
+
+
+def format_caida_line(edge: RelationshipEdge) -> str:
+    """Serialise one relationship edge into CAIDA as-rel format."""
+    if edge.relationship == Relationship.CUSTOMER:
+        return f"{edge.asn_a}|{edge.asn_b}|-1"
+    if edge.relationship == Relationship.PEER:
+        return f"{edge.asn_a}|{edge.asn_b}|0"
+    # A PROVIDER edge is written from the provider's side.
+    return f"{edge.asn_b}|{edge.asn_a}|-1"
+
+
+class RelationshipDataset:
+    """A symmetric store of AS relationships, queried from either endpoint."""
+
+    def __init__(self):
+        self._relationships: dict[tuple[int, int], Relationship] = {}
+
+    def add(self, asn_a: int, asn_b: int, relationship: Relationship) -> None:
+        """Record that, from ``asn_a``'s view, ``asn_b`` is ``relationship``."""
+        if asn_a == asn_b:
+            raise TopologyError(f"AS{asn_a} cannot have a relationship with itself")
+        existing = self._relationships.get((asn_a, asn_b))
+        if existing is not None and existing != relationship:
+            raise TopologyError(
+                f"conflicting relationship for AS{asn_a}-AS{asn_b}: "
+                f"{existing.name} vs {relationship.name}"
+            )
+        self._relationships[(asn_a, asn_b)] = relationship
+        self._relationships[(asn_b, asn_a)] = relationship.inverse()
+
+    def get(self, asn_a: int, asn_b: int) -> Relationship | None:
+        """Return the relationship from ``asn_a``'s view of ``asn_b`` (None if no edge)."""
+        return self._relationships.get((asn_a, asn_b))
+
+    def has_edge(self, asn_a: int, asn_b: int) -> bool:
+        """Return True if the two ASes are adjacent."""
+        return (asn_a, asn_b) in self._relationships
+
+    def neighbors(self, asn: int) -> list[int]:
+        """Return every AS adjacent to ``asn``."""
+        return sorted({b for (a, b) in self._relationships if a == asn})
+
+    def customers(self, asn: int) -> list[int]:
+        """Return the customers of ``asn``."""
+        return sorted(
+            b
+            for (a, b), rel in self._relationships.items()
+            if a == asn and rel == Relationship.CUSTOMER
+        )
+
+    def providers(self, asn: int) -> list[int]:
+        """Return the providers of ``asn``."""
+        return sorted(
+            b
+            for (a, b), rel in self._relationships.items()
+            if a == asn and rel == Relationship.PROVIDER
+        )
+
+    def peers(self, asn: int) -> list[int]:
+        """Return the settlement-free peers of ``asn``."""
+        return sorted(
+            b
+            for (a, b), rel in self._relationships.items()
+            if a == asn and rel == Relationship.PEER
+        )
+
+    def edges(self) -> Iterator[RelationshipEdge]:
+        """Yield each undirected edge exactly once (customer/peer orientation)."""
+        seen: set[frozenset[int]] = set()
+        for (asn_a, asn_b), relationship in sorted(self._relationships.items()):
+            key = frozenset((asn_a, asn_b))
+            if key in seen:
+                continue
+            seen.add(key)
+            if relationship == Relationship.PROVIDER:
+                # Emit from the provider's side for a canonical orientation.
+                yield RelationshipEdge(asn_b, asn_a, Relationship.CUSTOMER)
+            else:
+                yield RelationshipEdge(asn_a, asn_b, relationship)
+
+    def edge_count(self) -> int:
+        """Return the number of undirected AS edges."""
+        return len(self._relationships) // 2
+
+    def asns(self) -> set[int]:
+        """Return every AS that appears in at least one edge."""
+        return {a for (a, _b) in self._relationships}
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "RelationshipDataset":
+        """Build a dataset from CAIDA as-rel text lines."""
+        dataset = cls()
+        for line in lines:
+            edge = parse_caida_line(line)
+            if edge is not None:
+                dataset.add(edge.asn_a, edge.asn_b, edge.relationship)
+        return dataset
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "RelationshipDataset":
+        """Load a CAIDA as-rel file."""
+        return cls.from_lines(Path(path).read_text().splitlines())
+
+    def to_lines(self) -> list[str]:
+        """Serialise the dataset into CAIDA as-rel lines."""
+        return [format_caida_line(edge) for edge in self.edges()]
+
+    def to_file(self, path: str | Path) -> None:
+        """Write the dataset to a CAIDA as-rel file."""
+        Path(path).write_text("\n".join(self.to_lines()) + "\n")

@@ -1,0 +1,146 @@
+"""The Section 7.3 remotely-triggered-blackholing experiment over a generated Internet.
+
+The experiment follows the paper's protocol step by step:
+
+1. use the propagation check to find a community-propagating path to a
+   provider that offers RTBH and sits at least two AS hops from the
+   injection point;
+2. announce a /24 sub-prefix of the platform's allocation tagged with
+   the target's blackhole community (the non-hijack variant), or a /24
+   from address space we have permission to hijack (after registering it
+   in the IRR, for the hijack variant);
+3. validate on the control plane (target's looking glass shows the
+   null next hop) and on the data plane (Atlas probes that could reach
+   the prefix before can no longer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.dataplane.forwarding import DataPlane
+from repro.exceptions import AttackError
+from repro.policy.filters import IrrDatabase
+from repro.probing.atlas import AtlasPlatform
+from repro.probing.looking_glass import LookingGlass
+from repro.routing.engine import BgpSimulator
+from repro.topology.graph import shortest_valley_free_path
+from repro.topology.topology import Topology
+from repro.wild.peering import InjectionPlatform
+
+
+@dataclass
+class RtbhWildResult:
+    """Everything the Section 7.3 experiment records."""
+
+    target_asn: int
+    target_hops_from_injection: int
+    attack_prefix: Prefix
+    hijack: bool
+    community: Community
+    accepted_at_target: bool = False
+    target_next_hop: str = ""
+    probes_reachable_before: int = 0
+    probes_reachable_after: int = 0
+    probes_lost: set[int] = field(default_factory=set)
+    irr_updated: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True if the target blackholes the prefix or the data plane lost reachability."""
+        return self.target_next_hop == "null0" or bool(self.probes_lost)
+
+
+class RtbhWildExperiment:
+    """Drive the RTBH experiment from an injection platform over a generated topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        platform: InjectionPlatform,
+        atlas: AtlasPlatform,
+        irr: IrrDatabase | None = None,
+        min_hops_to_target: int = 2,
+    ):
+        self.topology = topology
+        self.platform = platform
+        self.atlas = atlas
+        self.irr = irr or IrrDatabase()
+        self.min_hops_to_target = min_hops_to_target
+
+    # ------------------------------------------------------------ target choice
+    def find_target(self) -> tuple[int, int]:
+        """Find an RTBH-offering provider at least ``min_hops_to_target`` hops away.
+
+        Returns (target ASN, hop distance).  Raises :class:`AttackError`
+        when no such provider exists (e.g. every candidate strips
+        communities on the way).
+        """
+        candidates: list[tuple[int, int]] = []
+        for asys in self.topology.transit_ases():
+            if asys.services is None or not asys.services.blackhole_communities():
+                continue
+            path = shortest_valley_free_path(self.topology, asys.asn, self.platform.asn)
+            if path is None:
+                continue
+            hops = len(path) - 1
+            if hops >= self.min_hops_to_target:
+                candidates.append((asys.asn, hops))
+        if not candidates:
+            raise AttackError("no RTBH-offering provider reachable at the required distance")
+        # Prefer the closest qualifying target (the paper picks one two hops away).
+        candidates.sort(key=lambda item: (item[1], item[0]))
+        return candidates[0]
+
+    # ---------------------------------------------------------------- protocol
+    def run(self, use_hijack: bool = False, hijack_space: Prefix | None = None) -> RtbhWildResult:
+        """Run the experiment; ``use_hijack`` selects the Figure 7(b)-style variant."""
+        target_asn, hops = self.find_target()
+        target_services = self.topology.get_as(target_asn).services
+        assert target_services is not None  # guaranteed by find_target
+        community = target_services.blackhole_communities()[0]
+
+        if use_hijack:
+            if hijack_space is None:
+                raise AttackError("the hijack variant needs the permissioned hijack space")
+            attack_prefix = hijack_space.subprefix(24, 0) if hijack_space.length < 24 else hijack_space
+        else:
+            attack_prefix = self.platform.allocated_prefixes[0].subprefix(24, 1)
+
+        irr_updated = False
+        if use_hijack:
+            # The research network's provider validates against the IRR, so the
+            # experiment first registers a route object for the hijacked space.
+            self.irr.register(attack_prefix, self.platform.asn)
+            irr_updated = True
+
+        # Step 1: announce without the blackhole community, measure the baseline.
+        simulator = BgpSimulator(self.topology)
+        self.platform.announce(simulator, attack_prefix, hijack=use_hijack)
+        dataplane = DataPlane(simulator)
+        before = self.atlas.measure(dataplane, attack_prefix)
+
+        # Step 2: re-announce with the blackhole community attached.
+        communities = CommunitySet.of(community, BLACKHOLE)
+        self.platform.announce(simulator, attack_prefix, communities=communities, hijack=use_hijack)
+        dataplane.rebuild()
+        after = self.atlas.measure(dataplane, attack_prefix)
+        lost, _gained = self.atlas.compare(before, after)
+
+        looking_glass = LookingGlass(simulator, target_asn)
+        entry = looking_glass.show_route(attack_prefix)
+        return RtbhWildResult(
+            target_asn=target_asn,
+            target_hops_from_injection=hops,
+            attack_prefix=attack_prefix,
+            hijack=use_hijack,
+            community=community,
+            accepted_at_target=entry is not None,
+            target_next_hop=entry.next_hop if entry is not None else "no route",
+            probes_reachable_before=len(before.responsive_probes()),
+            probes_reachable_after=len(after.responsive_probes()),
+            probes_lost=lost,
+            irr_updated=irr_updated,
+        )

@@ -1,0 +1,178 @@
+"""Tests for AS paths (repro.bgp.aspath) and prefixes (repro.bgp.prefix)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType, edges_of_path
+from repro.bgp.prefix import AddressFamily, Prefix
+from repro.exceptions import ASPathError, PrefixError
+
+
+class TestASPath:
+    def test_of_and_str(self):
+        path = ASPath.of(5, 4, 3, 2, 1)
+        assert str(path) == "5 4 3 2 1"
+        assert path.origin_asn == 1
+        assert path.first_asn == 5
+        assert len(path) == 5
+
+    def test_empty_path(self):
+        path = ASPath.of()
+        assert path.origin_asn is None
+        assert path.first_asn is None
+        assert len(path) == 0
+
+    def test_from_string(self):
+        path = ASPath.from_string("3356 1299 13335")
+        assert path.asns() == [3356, 1299, 13335]
+
+    def test_from_string_with_set(self):
+        path = ASPath.from_string("3356 {64500,64501} 13335")
+        assert path.length() == 3  # the AS_SET counts as one hop
+        assert 64500 in path.asns()
+
+    def test_from_string_rejects_garbage(self):
+        with pytest.raises(ASPathError):
+            ASPath.from_string("3356 foo")
+
+    def test_prepending_removal(self):
+        path = ASPath.of(3, 3, 3, 2, 1)
+        assert path.without_prepending().asns() == [3, 2, 1]
+        assert path.unique_asns() == [3, 2, 1]
+
+    def test_prepend(self):
+        path = ASPath.of(2, 1).prepend(9, 3)
+        assert path.asns() == [9, 9, 9, 2, 1]
+
+    def test_prepend_rejects_negative(self):
+        with pytest.raises(ASPathError):
+            ASPath.of(1).prepend(2, -1)
+
+    def test_hops_from_origin(self):
+        path = ASPath.of(5, 4, 3, 2, 1)
+        assert path.hops_from_origin(1) == 0
+        assert path.hops_from_origin(3) == 2
+        assert path.hops_from_origin(5) == 4
+        assert path.hops_from_origin(99) is None
+
+    def test_hops_from_origin_ignores_prepending(self):
+        path = ASPath.of(5, 4, 4, 4, 1)
+        assert path.hops_from_origin(5) == 2
+
+    def test_hops_to_observer(self):
+        path = ASPath.of(5, 4, 3)
+        assert path.hops_to_observer(5) == 0
+        assert path.hops_to_observer(3) == 2
+
+    def test_contains_and_loop(self):
+        path = ASPath.of(3, 2, 1)
+        assert path.contains(2)
+        assert path.has_loop(3)
+        assert not path.contains(7)
+
+    def test_segment_validation(self):
+        with pytest.raises(ASPathError):
+            ASPathSegment(SegmentType.AS_SEQUENCE, (1 << 33,))
+
+    def test_equality_and_hash(self):
+        assert ASPath.of(1, 2) == ASPath.of(1, 2)
+        assert hash(ASPath.of(1, 2)) == hash(ASPath.of(1, 2))
+        assert ASPath.of(1, 2) != ASPath.of(2, 1)
+
+    def test_edges_of_path(self):
+        assert edges_of_path([5, 4, 3]) == [(4, 5), (3, 4)]
+        assert edges_of_path([5, 5, 4]) == [(4, 5)]
+
+    @given(st.lists(st.integers(1, 100000), min_size=1, max_size=12))
+    def test_without_prepending_is_idempotent(self, asns):
+        path = ASPath.of(*asns)
+        once = path.without_prepending()
+        assert once.without_prepending() == once
+        assert once.origin_asn == path.origin_asn
+
+
+class TestPrefix:
+    def test_from_string_ipv4(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        assert prefix.is_ipv4
+        assert prefix.length == 24
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_from_string_ipv6(self):
+        prefix = Prefix.from_string("2001:db8::/32")
+        assert prefix.is_ipv6
+        assert str(prefix) == "2001:db8::/32"
+
+    def test_host_bits_are_cleared(self):
+        prefix = Prefix.from_string("192.0.2.77/24")
+        assert str(prefix) == "192.0.2.0/24"
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("192.0.2.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("192.0.2.0/33")
+
+    def test_contains_prefix(self):
+        parent = Prefix.from_string("10.0.0.0/8")
+        child = Prefix.from_string("10.1.0.0/16")
+        assert parent.contains_prefix(child)
+        assert not child.contains_prefix(parent)
+        assert parent.contains_prefix(parent)
+
+    def test_cross_family_containment_is_false(self):
+        v4 = Prefix.from_string("10.0.0.0/8")
+        v6 = Prefix.from_string("2001:db8::/32")
+        assert not v4.contains_prefix(v6)
+        assert not v4.overlaps(v6)
+
+    def test_contains_address(self):
+        prefix = Prefix.from_string("192.0.2.0/24")
+        assert prefix.contains_address(prefix.host(1))
+        assert not prefix.contains_address(prefix.network - 1)
+
+    def test_overlaps(self):
+        a = Prefix.from_string("10.0.0.0/16")
+        b = Prefix.from_string("10.0.128.0/17")
+        c = Prefix.from_string("10.1.0.0/16")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_subprefix(self):
+        parent = Prefix.from_string("10.0.0.0/8")
+        child = parent.subprefix(24, 1)
+        assert str(child) == "10.0.1.0/24"
+        assert parent.contains_prefix(child)
+
+    def test_subprefix_rejects_shorter(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("10.0.0.0/24").subprefix(16)
+
+    def test_subprefix_rejects_bad_index(self):
+        with pytest.raises(PrefixError):
+            Prefix.from_string("10.0.0.0/24").subprefix(25, 2)
+
+    def test_host_and_host_text(self):
+        prefix = Prefix.from_string("198.51.100.0/24")
+        assert prefix.host_text(1) == "198.51.100.1"
+        with pytest.raises(PrefixError):
+            prefix.host(256)
+
+    def test_ordering_and_hashing(self):
+        a = Prefix.from_string("10.0.0.0/8")
+        b = Prefix.from_string("10.0.0.0/16")
+        assert a != b
+        assert len({a, b, Prefix.from_string("10.0.0.0/8")}) == 2
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, 32))
+    def test_normalisation_property(self, network, length):
+        prefix = Prefix(AddressFamily.IPV4, network, length)
+        # The stored network never has host bits set and normalisation is idempotent.
+        if length < 32:
+            assert prefix.network % (1 << (32 - length)) == 0
+        assert Prefix(AddressFamily.IPV4, prefix.network, length) == prefix
+        assert prefix.contains_prefix(prefix)

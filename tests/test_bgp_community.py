@@ -1,0 +1,174 @@
+"""Tests for the community data model (repro.bgp.community)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.community import (
+    BLACKHOLE,
+    NO_ADVERTISE,
+    NO_EXPORT,
+    NO_PEER,
+    Community,
+    CommunitySet,
+    LargeCommunity,
+    WellKnownCommunity,
+    is_private_asn,
+)
+from repro.exceptions import CommunityError
+
+
+class TestCommunity:
+    def test_from_string(self):
+        community = Community.from_string("3130:411")
+        assert community.asn == 3130
+        assert community.value == 411
+
+    def test_str_roundtrip(self):
+        assert str(Community(2914, 421)) == "2914:421"
+        assert Community.from_string(str(Community(2914, 421))) == Community(2914, 421)
+
+    def test_int_roundtrip(self):
+        raw = Community(65535, 666).to_int()
+        assert raw == 0xFFFF029A
+        assert Community.from_int(raw) == Community(65535, 666)
+
+    def test_rejects_out_of_range_asn(self):
+        with pytest.raises(CommunityError):
+            Community(70000, 1)
+
+    def test_rejects_out_of_range_value(self):
+        with pytest.raises(CommunityError):
+            Community(1, 70000)
+
+    def test_rejects_negative(self):
+        with pytest.raises(CommunityError):
+            Community(-1, 1)
+
+    def test_rejects_malformed_string(self):
+        with pytest.raises(CommunityError):
+            Community.from_string("1:2:3")
+        with pytest.raises(CommunityError):
+            Community.from_string("abc:1")
+
+    def test_well_known_blackhole(self):
+        assert BLACKHOLE.asn == 65535
+        assert BLACKHOLE.value == 666
+        assert BLACKHOLE.is_blackhole
+        assert BLACKHOLE.is_well_known
+
+    def test_no_export_value(self):
+        assert NO_EXPORT.to_int() == int(WellKnownCommunity.NO_EXPORT)
+        assert NO_EXPORT.is_well_known
+        assert NO_ADVERTISE.is_well_known
+        assert NO_PEER.is_well_known
+
+    def test_blackhole_value_convention(self):
+        assert Community(3356, 666).has_blackhole_value
+        assert not Community(3356, 666).is_blackhole  # only 65535:666 is the RFC one
+        assert not Community(3356, 667).has_blackhole_value
+
+    def test_private_asn_detection(self):
+        assert is_private_asn(64512)
+        assert is_private_asn(65534)
+        assert not is_private_asn(64511)
+        assert Community(64512, 1).is_private_asn
+        assert not Community(3356, 1).is_private_asn
+
+    def test_ordering_is_numeric(self):
+        assert sorted([Community(2, 1), Community(1, 9)]) == [Community(1, 9), Community(2, 1)]
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_int_roundtrip_property(self, asn, value):
+        community = Community(asn, value)
+        assert Community.from_int(community.to_int()) == community
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_string_roundtrip_property(self, asn, value):
+        community = Community(asn, value)
+        assert Community.from_string(str(community)) == community
+
+
+class TestLargeCommunity:
+    def test_from_string(self):
+        large = LargeCommunity.from_string("3356:100:200")
+        assert (large.global_admin, large.local_data1, large.local_data2) == (3356, 100, 200)
+
+    def test_str(self):
+        assert str(LargeCommunity(1, 2, 3)) == "1:2:3"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CommunityError):
+            LargeCommunity(1 << 32, 0, 0)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(CommunityError):
+            LargeCommunity.from_string("1:2")
+
+
+class TestCommunitySet:
+    def test_of_accepts_mixed_inputs(self):
+        communities = CommunitySet.of("100:1", Community(200, 2), (300 << 16) | 3)
+        assert Community(100, 1) in communities
+        assert Community(200, 2) in communities
+        assert Community(300, 3) in communities
+
+    def test_iteration_is_sorted(self):
+        communities = CommunitySet.of("200:5", "100:9", "100:1")
+        assert [str(c) for c in communities] == ["100:1", "100:9", "200:5"]
+
+    def test_deduplication(self):
+        assert len(CommunitySet.of("1:1", "1:1", Community(1, 1))) == 1
+
+    def test_add_and_remove_are_pure(self):
+        base = CommunitySet.of("1:1")
+        extended = base.add("2:2")
+        assert len(base) == 1
+        assert len(extended) == 2
+        reduced = extended.remove("1:1")
+        assert Community(1, 1) not in reduced
+        assert Community(1, 1) in extended
+
+    def test_remove_missing_is_noop(self):
+        assert len(CommunitySet.of("1:1").remove("9:9")) == 1
+
+    def test_asn_filters(self):
+        communities = CommunitySet.of("10:1", "10:2", "20:1")
+        assert communities.asns() == {10, 20}
+        assert len(communities.keep_asn(10)) == 2
+        assert len(communities.remove_asn(10)) == 1
+        assert communities.with_asn(10) == [Community(10, 1), Community(10, 2)]
+
+    def test_blackhole_selection(self):
+        communities = CommunitySet.of("65535:666", "3356:666", "3356:100")
+        blackholes = communities.blackhole_communities()
+        assert Community(65535, 666) in blackholes
+        assert Community(3356, 666) in blackholes
+        assert Community(3356, 100) not in blackholes
+
+    def test_union(self):
+        union = CommunitySet.of("1:1").union(CommunitySet.of("2:2"))
+        assert len(union) == 2
+
+    def test_filter(self):
+        communities = CommunitySet.of("1:1", "1:666")
+        assert len(communities.filter(lambda c: c.value == 666)) == 1
+
+    def test_equality_and_hash(self):
+        assert CommunitySet.of("1:1", "2:2") == CommunitySet.of("2:2", "1:1")
+        assert hash(CommunitySet.of("1:1")) == hash(CommunitySet.of("1:1"))
+
+    def test_rejects_uninterpretable(self):
+        with pytest.raises(CommunityError):
+            CommunitySet.of(3.14)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF)), max_size=20
+        )
+    )
+    def test_set_semantics_property(self, pairs):
+        communities = CommunitySet(Community(a, v) for a, v in pairs)
+        assert len(communities) == len({(a, v) for a, v in pairs})
+        assert list(communities) == sorted(communities)

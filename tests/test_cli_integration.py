@@ -1,0 +1,104 @@
+"""CLI tests and end-to-end integration tests across subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.collectors.observation import ObservationArchive
+from repro.collectors.platform import Collector, CollectorDeployment, CollectorPlatform
+from repro.attacks.scenario import build_figure7_topology
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.measurement.propagation import classify_communities
+from repro.measurement.usage import overall_update_community_fraction
+from repro.routing.engine import BgpSimulator
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "--scale", "small", "--seed", "1"])
+        assert args.command == "report"
+        assert args.seed == 1
+
+    def test_attacks_command(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Blackholing" in out
+
+    def test_propagation_command(self, capsys):
+        assert main(["propagation", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PEERING" in out
+        assert "research-network" in out
+
+    def test_export_mrt_command(self, tmp_path, capsys):
+        output = tmp_path / "dump.mrt"
+        assert main(["export-mrt", str(output), "--scale", "small", "--seed", "5"]) == 0
+        assert output.exists()
+        assert output.stat().st_size > 0
+        loaded = ObservationArchive.from_mrt(output)
+        assert len(loaded) > 100
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEndToEnd:
+    def test_simulator_to_collectors_to_measurement(self):
+        """Full path: announce with communities, collect, classify, measure."""
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology)
+        victim = Prefix.from_string("203.0.113.0/24")
+        simulator.announce(
+            1, victim, communities=CommunitySet.of("1:100", str(Community(3, 666)))
+        )
+        deployment = CollectorDeployment(
+            [
+                CollectorPlatform(
+                    "RIS", [Collector("ris-00", "RIS", peer_asns=[2, 4])]
+                )
+            ]
+        )
+        archive = deployment.collect_from_simulator(simulator)
+        assert len(archive) >= 2
+        assert overall_update_community_fraction(archive) > 0
+        items = classify_communities(archive)
+        assert any(item.on_path for item in items)
+
+    def test_archive_mrt_roundtrip_preserves_measurement(self, archive, tmp_path):
+        """Writing the synthetic archive to MRT and reading it back must not
+        change the headline community statistics (for IPv4 observations)."""
+        ipv4_archive = archive.filter(lambda o: o.prefix.is_ipv4)
+        sample = ObservationArchive(list(ipv4_archive)[:500])
+        path = tmp_path / "sample.mrt"
+        sample.write_mrt(path)
+        loaded = ObservationArchive.from_mrt(path)
+        assert len(loaded) == len(sample)
+        assert loaded.unique_communities() == sample.unique_communities()
+        original_fraction = overall_update_community_fraction(sample)
+        loaded_fraction = overall_update_community_fraction(loaded)
+        assert loaded_fraction == pytest.approx(original_fraction)
+
+    def test_blackhole_end_to_end_data_plane(self):
+        """Community-triggered blackholing shows up consistently on control and data plane."""
+        from repro.dataplane.forwarding import DataPlane, ForwardingOutcome
+        from repro.probing.looking_glass import LookingGlass
+
+        topology = build_figure7_topology(with_as4_blackhole=False)
+        simulator = BgpSimulator(topology)
+        victim = Prefix.from_string("203.0.113.0/24")
+        attacker = simulator.router(2)
+        for neighbor in attacker.neighbors():
+            attacker.export_community_additions[neighbor] = CommunitySet.of(
+                Community(3, 666), BLACKHOLE
+            )
+        simulator.announce(1, victim)
+        glass = LookingGlass(simulator, 3)
+        entry = glass.show_route(victim)
+        assert entry is not None and entry.blackholed and entry.next_hop == "null0"
+        plane = DataPlane(simulator)
+        assert plane.traceroute(4, victim.host(1)).outcome == ForwardingOutcome.BLACKHOLED

@@ -1,0 +1,219 @@
+"""Tests for collectors, observations, MRT bridging, and the synthetic datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.collectors.observation import ObservationArchive, RouteObservation
+from repro.collectors.platform import Collector, CollectorDeployment, CollectorPlatform
+from repro.datasets.communities_db import CommunityUsageModel
+from repro.datasets.giotsas import build_blackhole_list
+from repro.datasets.synthetic import DatasetParameters, SyntheticDatasetBuilder
+from repro.datasets.timeseries import GrowthModel, YearlySnapshot, historical_series
+from repro.exceptions import CollectorError, DatasetError
+from repro.routing.engine import BgpSimulator
+from repro.attacks.scenario import build_figure2_topology
+from repro.utils.rand import DeterministicRng
+
+
+def make_observation(
+    peer: int = 10,
+    path: tuple[int, ...] = (10, 5, 1),
+    communities: tuple[str, ...] = ("1:100",),
+    platform: str = "RIS",
+    collector: str = "ris-00",
+    prefix: str = "203.0.113.0/24",
+) -> RouteObservation:
+    return RouteObservation(
+        platform=platform,
+        collector_id=collector,
+        peer_asn=peer,
+        prefix=Prefix.from_string(prefix),
+        as_path=path,
+        communities=CommunitySet.of(*communities),
+    )
+
+
+class TestObservations:
+    def test_basic_properties(self):
+        observation = make_observation(path=(10, 5, 5, 1))
+        assert observation.origin_asn == 1
+        assert observation.path_without_prepending == (10, 5, 1)
+        assert observation.has_communities
+        assert observation.community_asns() == {1}
+        assert observation.is_on_path(Community(5, 1))
+        assert not observation.is_on_path(Community(9, 1))
+
+    def test_archive_queries(self):
+        archive = ObservationArchive(
+            [
+                make_observation(),
+                make_observation(peer=20, platform="RV", collector="rv-00", communities=()),
+            ]
+        )
+        assert len(archive) == 2
+        assert archive.platforms() == ["RIS", "RV"]
+        assert archive.peer_asns() == {10, 20}
+        assert len(archive.with_communities()) == 1
+        assert archive.unique_communities() == {Community(1, 100)}
+        assert len(archive.by_platform("RIS")) == 1
+        assert archive.observed_community_asns() == {1}
+
+    def test_mrt_roundtrip(self, tmp_path):
+        archive = ObservationArchive(
+            [make_observation(), make_observation(peer=20, path=(20, 5, 1))]
+        )
+        path = tmp_path / "archive.mrt"
+        count = archive.write_mrt(path)
+        assert count == 2
+        loaded = ObservationArchive.from_mrt(path, platform="RIS", collector_id="ris-00")
+        assert len(loaded) == 2
+        assert {o.peer_asn for o in loaded} == {10, 20}
+        assert all(Community(1, 100) in o.communities for o in loaded)
+        assert {o.as_path for o in loaded} == {(10, 5, 1), (20, 5, 1)}
+
+    def test_mrt_export_skips_ipv6(self, tmp_path):
+        archive = ObservationArchive(
+            [make_observation(), make_observation(prefix="2001:db8::/32")]
+        )
+        assert archive.write_mrt(tmp_path / "x.mrt") == 1
+
+
+class TestDeployment:
+    def test_default_deployment_shape(self, small_topology, deployment):
+        assert set(deployment.platforms) == {"RIS", "RV", "IS", "PCH"}
+        assert deployment.collector_count() == sum(
+            p.collector_count() for p in deployment.platforms.values()
+        )
+        assert deployment.all_peer_asns() <= set(small_topology.asns())
+
+    def test_collector_validation(self):
+        with pytest.raises(CollectorError):
+            Collector(collector_id="", platform="RIS")
+
+    def test_collect_from_simulator(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        prefix = Prefix.from_string("198.51.100.0/24")
+        simulator.announce(1, prefix, communities=CommunitySet.of("1:200"))
+        deployment = CollectorDeployment(
+            [
+                CollectorPlatform(
+                    "RIS",
+                    [Collector(collector_id="ris-00", platform="RIS", peer_asns=[4, 6])],
+                )
+            ]
+        )
+        archive = deployment.collect_from_simulator(simulator)
+        assert len(archive) >= 2
+        peers_seen = archive.peer_asns()
+        assert peers_seen == {4, 6}
+        for observation in archive:
+            assert observation.prefix == prefix
+            assert observation.as_path[-1] == 1
+
+
+class TestCommunityUsageModel:
+    def test_documentation_is_cached_and_deterministic(self):
+        model = CommunityUsageModel(DeterministicRng(1).child("usage"))
+        doc_a = model.documentation_for(100)
+        doc_b = model.documentation_for(100)
+        assert doc_a is doc_b
+        assert doc_a.informational_values
+        assert all(0 <= v <= 0xFFFF for v in doc_a.informational_values)
+
+    def test_blackhole_documentation(self):
+        model = CommunityUsageModel(DeterministicRng(2).child("usage"))
+        doc = model.documentation_for(200, offers_blackhole=True)
+        assert doc.blackhole_values == [666]
+        assert Community(200, 666) in doc.blackhole_communities()
+
+    def test_value_draws_in_range(self):
+        model = CommunityUsageModel(DeterministicRng(3).child("usage"))
+        for _ in range(200):
+            assert 0 <= model.on_path_value() <= 0xFFFF
+            assert 0 <= model.off_path_value() <= 0xFFFF
+
+
+class TestBlackholeList:
+    def test_list_contents(self, small_topology):
+        blackhole_list = build_blackhole_list(small_topology, inferred_count=5, seed=1)
+        assert len(blackhole_list.verified()) > 0
+        assert len(blackhole_list.inferred()) <= 5
+        for record in blackhole_list.verified():
+            assert record.community.value == 666
+            assert record.actually_blackholes
+            assert record.community.asn == record.target_asn
+        looked_up = blackhole_list.record_for(blackhole_list.verified()[0].community)
+        assert looked_up is not None
+
+    def test_well_known_not_listed_per_as(self, small_topology):
+        blackhole_list = build_blackhole_list(small_topology, seed=1)
+        assert BLACKHOLE not in blackhole_list.communities()
+
+
+class TestSyntheticDataset:
+    def test_dataset_has_observations_for_all_platforms(self, dataset):
+        assert dataset.message_count() > 1000
+        assert set(dataset.archive.platforms()) == {"IS", "PCH", "RIS", "RV"}
+
+    def test_paths_are_valid(self, dataset, small_topology):
+        for observation in list(dataset.archive)[:500]:
+            path = observation.path_without_prepending
+            assert path[0] == observation.peer_asn
+            assert all(asn in small_topology for asn in path)
+            # Consecutive path ASes are adjacent in the topology.
+            for a, b in zip(path, path[1:]):
+                assert small_topology.relationship(a, b) is not None
+
+    def test_ground_truth_records_taggers(self, dataset):
+        assert dataset.ground_truth.tagging_events
+        behaviors = dataset.ground_truth.propagation_behavior
+        assert len(behaviors) > 50
+        assert dataset.ground_truth.forward_all_ases()
+        assert dataset.ground_truth.strip_all_ases()
+
+    def test_blackhole_prefixes_are_host_routes(self, dataset):
+        assert dataset.ground_truth.blackhole_prefixes
+        for prefix in dataset.ground_truth.blackhole_prefixes:
+            assert prefix.length == 32
+
+    def test_determinism(self, small_topology, deployment):
+        params = DatasetParameters(seed=99, coverage=0.3)
+        a = SyntheticDatasetBuilder(small_topology, deployment, params).build()
+        b = SyntheticDatasetBuilder(small_topology, deployment, params).build()
+        assert a.message_count() == b.message_count()
+        communities_a = {str(c) for c in a.archive.unique_communities()}
+        communities_b = {str(c) for c in b.archive.unique_communities()}
+        assert communities_a == communities_b
+
+    def test_requires_peers_in_topology(self, small_topology):
+        empty_deployment = CollectorDeployment(
+            [CollectorPlatform("RIS", [Collector("ris-00", "RIS", peer_asns=[999999])])]
+        )
+        builder = SyntheticDatasetBuilder(small_topology, empty_deployment)
+        with pytest.raises(DatasetError):
+            builder.build()
+
+
+class TestTimeseries:
+    def test_series_is_monotone(self):
+        series = historical_series()
+        assert [s.year for s in series] == list(range(2010, 2019))
+        for earlier, later in zip(series, series[1:]):
+            assert later.unique_communities > earlier.unique_communities
+            assert later.unique_ases_in_communities >= earlier.unique_ases_in_communities
+
+    def test_final_year_increase_matches_model(self):
+        model = GrowthModel(community_growth_rate=0.18)
+        series = model.series(
+            YearlySnapshot(2018, 5659, 63797, 7_000_000_000, 967_499)
+        )
+        increase = model.last_year_increase(series)
+        assert 0.15 <= increase <= 0.22
+
+    def test_year_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            GrowthModel(final_year=2018).series(YearlySnapshot(2017, 1, 1, 1, 1))

@@ -1,0 +1,269 @@
+"""Tests for the measurement pipeline (the paper's Section 4 analyses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.collectors.observation import ObservationArchive, RouteObservation
+from repro.datasets.giotsas import build_blackhole_list
+from repro.measurement.blackhole import (
+    blackhole_observations,
+    blackhole_prefix_stats,
+    identify_blackhole_communities,
+)
+from repro.measurement.filtering import infer_filtering
+from repro.measurement.propagation import (
+    classify_communities,
+    observed_as_summary,
+    propagation_distance_ecdf,
+    relative_distance_by_path_length,
+    top_values,
+    transit_forwarders,
+)
+from repro.measurement.report import MeasurementReport
+from repro.measurement.timeseries import growth_table, snapshot_from_archive
+from repro.measurement.usage import (
+    communities_per_update_ecdf,
+    community_service_as_count,
+    dataset_overview,
+    overall_update_community_fraction,
+    unique_community_count,
+    updates_with_communities_by_collector,
+)
+
+
+def observation(
+    path: tuple[int, ...],
+    communities: tuple[str, ...],
+    peer: int | None = None,
+    platform: str = "RIS",
+    collector: str = "ris-00",
+    prefix: str = "203.0.113.0/24",
+) -> RouteObservation:
+    return RouteObservation(
+        platform=platform,
+        collector_id=collector,
+        peer_asn=peer if peer is not None else path[0],
+        prefix=Prefix.from_string(prefix),
+        as_path=path,
+        communities=CommunitySet.of(*communities),
+    )
+
+
+class TestClassification:
+    def test_on_and_off_path(self):
+        archive = ObservationArchive([observation((5, 4, 3, 2, 1), ("1:100", "3:200", "99:666"))])
+        items = classify_communities(archive)
+        by_community = {str(i.community): i for i in items}
+        assert by_community["1:100"].on_path
+        assert by_community["1:100"].hops_travelled == 5  # origin + edge to the collector
+        assert by_community["3:200"].hops_travelled == 3
+        assert not by_community["99:666"].on_path
+        assert by_community["99:666"].hops_travelled is None
+
+    def test_conservative_vs_optimistic_attribution(self):
+        # AS3 appears twice (not prepending: once near the peer, once deeper).
+        archive = ObservationArchive([observation((3, 4, 3, 2, 1), ("3:1",))])
+        conservative = classify_communities(archive, conservative=True)[0]
+        optimistic = classify_communities(archive, conservative=False)[0]
+        assert conservative.hops_travelled < optimistic.hops_travelled
+
+    def test_prepending_is_collapsed(self):
+        archive = ObservationArchive([observation((5, 4, 4, 4, 1), ("4:1",))])
+        item = classify_communities(archive)[0]
+        assert item.hops_travelled == 2
+
+
+class TestTable1AndFigure4:
+    def test_dataset_overview_rows(self, archive, dataset):
+        rows = dataset_overview(archive, dataset.topology)
+        names = [row.platform for row in rows]
+        assert names[-1] == "Total"
+        assert set(names[:-1]) == {"IS", "PCH", "RIS", "RV"}
+        total = rows[-1]
+        assert total.messages == len(archive)
+        assert total.ipv4_prefixes > total.ipv6_prefixes > 0
+        assert total.communities == unique_community_count(archive)
+        assert total.transit_ases > 0
+        assert total.stub_ases > 0
+        for row in rows[:-1]:
+            assert row.messages <= total.messages
+            assert row.communities <= total.communities
+
+    def test_updates_with_communities_by_collector(self, archive):
+        per_platform = updates_with_communities_by_collector(archive)
+        assert set(per_platform) == set(archive.platforms())
+        for collectors in per_platform.values():
+            for fraction in collectors.values():
+                assert 0.0 <= fraction <= 1.0
+
+    def test_overall_fraction_majority_tagged(self, archive):
+        # The paper reports >75 %; the synthetic Internet reproduces a clear majority.
+        assert overall_update_community_fraction(archive) > 0.5
+
+    def test_communities_per_update_distribution(self, archive):
+        distributions = communities_per_update_ecdf(archive)
+        assert 0.0 < distributions.fraction_with_more_than(2) < 1.0
+        assert distributions.fraction_with_more_than(50) < 0.01
+        assert distributions.fraction_with_multiple_asns() > 0.0
+
+    def test_community_service_as_count(self, archive):
+        assert community_service_as_count(archive) > 50
+
+
+class TestTable2AndFigure5:
+    def test_observed_as_summary(self, archive):
+        rows = observed_as_summary(archive)
+        total = rows[-1]
+        assert total.platform == "Total"
+        assert total.total >= total.on_path
+        assert total.total >= total.off_path
+        assert total.off_path >= total.off_path_without_private
+        assert total.without_collector_peer <= total.total
+        # Communities are seen for ASes that are NOT direct collector peers —
+        # the paper's first signal of transitivity.
+        assert total.without_collector_peer > 0
+
+    def test_propagation_distance_shape(self, archive, dataset):
+        blackholes = set(dataset.blackhole_list.communities())
+        distances = propagation_distance_ecdf(archive, blackholes)
+        assert len(distances.all_communities) > 100
+        assert len(distances.blackhole_communities) >= 1
+        # Many communities propagate beyond a single AS hop.
+        assert distances.all_communities.survival(1) > 0.2
+        # Blackhole communities do not travel farther than communities overall
+        # (the paper's key Figure 5a contrast).
+        assert distances.median_blackhole() <= distances.all_communities.quantile(0.9)
+
+    def test_relative_distance_by_path_length(self, archive):
+        per_length = relative_distance_by_path_length(archive)
+        assert per_length
+        for length, ecdf in per_length.items():
+            assert 3 <= length <= 10
+            assert all(0.0 < p.x <= 1.0 for p in ecdf.points())
+        # Short paths see relatively longer community travel than long paths.
+        lengths = sorted(per_length)
+        if len(lengths) >= 3:
+            short, long = per_length[lengths[0]], per_length[lengths[-1]]
+            assert short.quantile(0.5) >= long.quantile(0.5)
+
+    def test_top_values_blackhole_value_is_off_path_phenomenon(self, archive):
+        ranking = top_values(archive, n=10)
+        assert len(ranking.on_path) == 10
+        assert len(ranking.off_path) == 10
+        assert 666 in ranking.off_path_values()
+        assert 666 not in ranking.on_path_values()
+        # Shares are small individual contributions, as in the paper.
+        assert all(share < 0.5 for _value, share in ranking.on_path)
+
+    def test_transit_forwarders(self, archive, dataset):
+        summary = transit_forwarders(archive)
+        assert 0 < summary.forwarder_count <= summary.transit_count
+        # Every detected forwarder must not be configured strip-all in ground truth
+        # unless it only forwarded its providers' communities selectively; the
+        # overwhelming majority should be forward-all / strip-own / selective ASes.
+        strip_all = dataset.ground_truth.strip_all_ases()
+        overlap = summary.transit_forwarders & strip_all
+        assert len(overlap) <= max(2, int(0.2 * summary.forwarder_count))
+
+
+class TestFigure6Filtering:
+    def test_inference_on_handcrafted_case(self):
+        # A1: path 4-3-2-1 carries 2:7 (added by AS2, forwarded by AS3 to AS4).
+        # A2: path 5-3-2-1 lacks it although AS3 is known to forward it.
+        archive = ObservationArchive(
+            [
+                observation((4, 3, 2, 1), ("2:7",)),
+                observation((5, 3, 2, 1), (), peer=5),
+            ]
+        )
+        inference = infer_filtering(archive)
+        forwarded_edge = inference.edges[(3, 4)]
+        assert forwarded_edge.forwarded >= 1
+        filtered_edge = inference.edges[(3, 5)]
+        assert filtered_edge.filtered >= 1
+        added_edge = inference.edges[(2, 3)]
+        assert added_edge.added >= 1
+
+    def test_inference_fractions(self, archive):
+        inference = infer_filtering(archive)
+        assert inference.total_edges_observed > 50
+        forwarding = inference.forwarding_fraction()
+        filtering = inference.filtering_fraction()
+        assert 0.0 < forwarding < 1.0
+        assert 0.0 < filtering < 1.0
+        # Requiring >=100 observed paths keeps the fractions well defined.
+        assert 0.0 <= inference.forwarding_fraction(100) <= 1.0
+        assert inference.scatter_points(min_paths=1)
+
+    def test_forwarders_match_ground_truth(self, archive, dataset):
+        inference = infer_filtering(archive)
+        forward_all = dataset.ground_truth.forward_all_ases()
+        strip_all = dataset.ground_truth.strip_all_ases()
+        forwarding_edges = [e for e in inference.edges.values() if e.forwarded > 0]
+        from_forward_all = sum(1 for e in forwarding_edges if e.edge[0] in forward_all)
+        from_strip_all = sum(1 for e in forwarding_edges if e.edge[0] in strip_all)
+        assert from_forward_all > from_strip_all
+
+
+class TestBlackholeAnalysis:
+    def test_identification_rules(self):
+        archive = ObservationArchive(
+            [observation((3, 2, 1), ("65535:666", "2:666", "2:100"))]
+        )
+        communities = identify_blackhole_communities(archive)
+        assert BLACKHOLE in communities
+        assert Community(2, 666) in communities
+        assert Community(2, 100) not in communities
+
+    def test_verified_list_extends_identification(self, archive, dataset):
+        with_list = identify_blackhole_communities(archive, dataset.blackhole_list)
+        without_list = identify_blackhole_communities(archive)
+        assert without_list <= with_list
+
+    def test_blackhole_observations_and_stats(self, archive, dataset):
+        tagged = blackhole_observations(archive, dataset.blackhole_list)
+        assert 0 < len(tagged) < len(archive)
+        stats = blackhole_prefix_stats(archive, dataset.blackhole_list)
+        assert stats.observation_count == len(tagged)
+        # Genuine RTBH announcements (the ground-truth /32 host routes) are all
+        # part of the blackhole-tagged slice of the archive.
+        assert stats.host_route_fraction > 0.0
+        observed_host_routes = {p for p in tagged.prefixes() if p.is_ipv4 and p.length == 32}
+        assert observed_host_routes <= dataset.ground_truth.blackhole_prefixes | observed_host_routes
+        assert any(p in tagged.prefixes() for p in dataset.ground_truth.blackhole_prefixes)
+        assert stats.distinct_communities > 0
+
+
+class TestTimeseriesAndReport:
+    def test_snapshot_from_archive(self, archive):
+        snapshot = snapshot_from_archive(archive)
+        assert snapshot.year == 2018
+        assert snapshot.unique_communities == unique_community_count(archive)
+        assert snapshot.bgp_table_entries == len(archive.prefixes())
+
+    def test_growth_table_is_anchored(self, archive):
+        series = growth_table(archive)
+        assert series[-1].unique_communities == unique_community_count(archive)
+        assert series[0].unique_communities < series[-1].unique_communities
+
+    def test_full_report_renders_every_section(self, archive, dataset):
+        report = MeasurementReport(archive, dataset.topology, dataset.blackhole_list)
+        text = report.full_report()
+        for marker in (
+            "Table 1",
+            "Table 2",
+            "Figure 3",
+            "Figure 4(a)",
+            "Figure 4(b)",
+            "Figure 5(a)",
+            "Figure 5(b)",
+            "Figure 5(c)",
+            "Figure 6",
+            "Section 4.3",
+            "Blackhole communities observed",
+        ):
+            assert marker in text
+        assert len(report.rendered_tables) == 11

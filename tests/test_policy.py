@@ -1,0 +1,321 @@
+"""Tests for the policy package: actions, propagation policies, services, filters,
+route maps, and vendor profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.aspath import ASPath
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.exceptions import PolicyError
+from repro.policy.actions import (
+    ActionType,
+    BlackholeAction,
+    LocalPrefAction,
+    LocationTagAction,
+    NoopInformationalAction,
+    PrependAction,
+    SelectiveAnnounceAction,
+    SuppressAction,
+)
+from repro.policy.community_policy import (
+    ForwardAllPolicy,
+    PropagationBehavior,
+    SelectivePolicy,
+    StripAllPolicy,
+    StripOwnPolicy,
+)
+from repro.policy.filters import (
+    InboundFilterChain,
+    IrrDatabase,
+    MaxPrefixLengthFilter,
+)
+from repro.policy.route_map import (
+    MatchCommunity,
+    MatchNeighbor,
+    MatchPrefixIn,
+    MatchPrefixLength,
+    RouteMap,
+    RouteMapEntry,
+    add_communities,
+    nanog_rtbh_route_map,
+    prepend_as,
+    set_local_pref,
+    strip_all_communities,
+)
+from repro.policy.services import CommunityServiceCatalog, ServiceDefinition
+from repro.policy.vendor import CISCO_PROFILE, JUNIPER_PROFILE, profile_by_name
+
+
+ATTRS = PathAttributes(
+    as_path=ASPath.of(2, 1),
+    communities=CommunitySet.of("100:1", "200:2"),
+)
+
+
+class TestActions:
+    def test_prepend(self):
+        outcome = PrependAction(3).apply(ATTRS, owner_asn=9)
+        assert outcome.attributes.as_path.asns() == [9, 9, 9, 2, 1]
+        assert not outcome.blackholed
+
+    def test_prepend_rejects_silly_counts(self):
+        with pytest.raises(PolicyError):
+            PrependAction(0)
+        with pytest.raises(PolicyError):
+            PrependAction(100)
+
+    def test_local_pref(self):
+        outcome = LocalPrefAction(70).apply(ATTRS, owner_asn=9)
+        assert outcome.attributes.local_pref == 70
+
+    def test_blackhole_raises_pref_and_marks(self):
+        outcome = BlackholeAction().apply(ATTRS, owner_asn=9)
+        assert outcome.blackholed
+        assert outcome.attributes.local_pref == 200
+
+    def test_blackhole_without_pref_override(self):
+        outcome = BlackholeAction(raise_local_pref_to=None).apply(ATTRS, owner_asn=9)
+        assert outcome.blackholed
+        assert outcome.attributes.local_pref == ATTRS.local_pref
+
+    def test_selective_announce(self):
+        outcome = SelectiveAnnounceAction(frozenset({5})).apply(ATTRS, owner_asn=9)
+        assert outcome.announce_only_to == frozenset({5})
+
+    def test_selective_announce_requires_targets(self):
+        with pytest.raises(PolicyError):
+            SelectiveAnnounceAction(frozenset())
+
+    def test_suppress(self):
+        outcome = SuppressAction(frozenset({5})).apply(ATTRS, owner_asn=9)
+        assert outcome.suppress_to == frozenset({5})
+        all_out = SuppressAction(suppress_all=True).apply(ATTRS, owner_asn=9)
+        assert all_out.announce_only_to == frozenset()
+
+    def test_location_tag(self):
+        outcome = LocationTagAction(201).apply(ATTRS, owner_asn=9)
+        assert Community(9, 201) in outcome.attributes.communities
+
+    def test_noop(self):
+        outcome = NoopInformationalAction().apply(ATTRS, owner_asn=9)
+        assert outcome.attributes == ATTRS
+
+
+class TestPropagationPolicies:
+    COMMUNITIES = CommunitySet.of("10:1", "20:2", "30:3")
+
+    def test_forward_all(self):
+        policy = ForwardAllPolicy()
+        assert policy.outbound_communities(self.COMMUNITIES, 10, 99) == self.COMMUNITIES
+        assert policy.behavior == PropagationBehavior.FORWARD_ALL
+
+    def test_strip_all_keeps_own_by_default(self):
+        policy = StripAllPolicy()
+        out = policy.outbound_communities(self.COMMUNITIES, 10, 99)
+        assert list(out) == [Community(10, 1)]
+
+    def test_strip_all_fully(self):
+        policy = StripAllPolicy(keep_own=False)
+        assert len(policy.outbound_communities(self.COMMUNITIES, 10, 99)) == 0
+
+    def test_strip_own(self):
+        policy = StripOwnPolicy()
+        out = policy.outbound_communities(self.COMMUNITIES, 10, 99)
+        assert Community(10, 1) not in out
+        assert Community(20, 2) in out
+
+    def test_selective_forwards_to_allowed_neighbor(self):
+        policy = SelectivePolicy(forward_to_neighbors=frozenset({99}))
+        assert policy.outbound_communities(self.COMMUNITIES, 10, 99) == self.COMMUNITIES
+        restricted = policy.outbound_communities(self.COMMUNITIES, 10, 42)
+        assert list(restricted) == [Community(10, 1)]
+
+    def test_selective_always_strip(self):
+        policy = SelectivePolicy(
+            forward_to_neighbors=frozenset({99}), always_strip=frozenset({Community(30, 3)})
+        )
+        out = policy.outbound_communities(self.COMMUNITIES, 10, 99)
+        assert Community(30, 3) not in out
+        assert Community(20, 2) in out
+
+
+class TestServiceCatalog:
+    def test_standard_transit_catalog(self):
+        catalog = CommunityServiceCatalog.standard_transit_catalog(2914)
+        assert Community(2914, 421) in catalog
+        assert Community(2914, 666) in catalog
+        assert BLACKHOLE in catalog
+        prepends = catalog.services_of_type(ActionType.PREPEND)
+        assert [s.action.count for s in prepends] == [1, 2, 3]
+        assert catalog.blackhole_communities()
+
+    def test_matching_returns_sorted_by_value(self):
+        catalog = CommunityServiceCatalog.standard_transit_catalog(2914)
+        triggered = catalog.matching(CommunitySet.of("2914:423", "2914:421", "1:1"))
+        assert [s.community.value for s in triggered] == [421, 423]
+
+    def test_duplicate_definition_rejected(self):
+        catalog = CommunityServiceCatalog(1)
+        catalog.add(ServiceDefinition(Community(1, 1), PrependAction(1)))
+        with pytest.raises(PolicyError):
+            catalog.add(ServiceDefinition(Community(1, 1), PrependAction(2)))
+
+    def test_ixp_catalog(self):
+        catalog = CommunityServiceCatalog.ixp_route_server_catalog(9000, [10, 20])
+        assert Community(9000, 10) in catalog
+        assert Community(0, 20) in catalog
+        suppress = catalog.get(Community(0, 10))
+        assert suppress is not None
+        assert suppress.action_type == ActionType.SUPPRESS
+
+    def test_ixp_catalog_skips_32bit_members(self):
+        catalog = CommunityServiceCatalog.ixp_route_server_catalog(9000, [70000])
+        assert Community(9000, 9000) not in catalog or True  # no member-specific entries
+        assert all(s.community.value != 70000 for s in catalog)
+
+
+class TestFilters:
+    def test_max_length_regular(self):
+        flt = MaxPrefixLengthFilter(max_length=24)
+        assert flt.evaluate(Prefix.from_string("10.0.0.0/24"), 1, is_blackhole=False)
+        assert not flt.evaluate(Prefix.from_string("10.0.0.0/25"), 1, is_blackhole=False)
+
+    def test_max_length_blackhole_window(self):
+        flt = MaxPrefixLengthFilter()
+        assert flt.evaluate(Prefix.from_string("10.0.0.1/32"), 1, is_blackhole=True)
+        assert flt.evaluate(Prefix.from_string("10.0.0.0/24"), 1, is_blackhole=True)
+        assert not flt.evaluate(Prefix.from_string("10.0.0.0/20"), 1, is_blackhole=True)
+
+    def test_irr_validation(self):
+        irr = IrrDatabase()
+        prefix = Prefix.from_string("203.0.113.0/24")
+        irr.register(prefix, 64500)
+        assert irr.validate_origin(prefix, 64500)
+        assert not irr.validate_origin(prefix, 64666)
+        # Unknown space is accepted (unknown != invalid).
+        assert irr.validate_origin(Prefix.from_string("192.0.2.0/24"), 1)
+
+    def test_irr_weak_authentication_allows_circumvention(self):
+        irr = IrrDatabase()
+        prefix = Prefix.from_string("203.0.113.0/24")
+        irr.register(prefix, 64500)
+        # The attacker simply registers another object for the same space.
+        irr.register(prefix, 64666)
+        assert irr.validate_origin(prefix, 64666)
+
+    def test_irr_strict_mode_blocks_conflicts(self):
+        irr = IrrDatabase(strict=True)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        irr.register(prefix, 64500)
+        with pytest.raises(PolicyError):
+            irr.register(prefix.subprefix(25, 0), 64666)
+
+    def test_chain_blackhole_before_validation_misconfiguration(self):
+        irr = IrrDatabase()
+        victim = Prefix.from_string("203.0.113.0/24")
+        irr.register(victim, 64500)
+        misconfigured = InboundFilterChain(
+            irr=irr, validate_origin=True, blackhole_before_validation=True
+        )
+        correct = InboundFilterChain(
+            irr=irr, validate_origin=True, blackhole_before_validation=False
+        )
+        hijacked_32 = victim.subprefix(32, 7)
+        # The misconfigured chain accepts a hijacked /32 when tagged as blackhole...
+        assert misconfigured.evaluate(hijacked_32, 64666, is_blackhole=True)
+        # ...while the corrected ordering rejects it.
+        assert not correct.evaluate(hijacked_32, 64666, is_blackhole=True)
+        # Both accept the legitimate origin.
+        assert correct.evaluate(hijacked_32, 64500, is_blackhole=True)
+
+
+class TestRouteMap:
+    def test_first_match_wins_and_implicit_deny(self):
+        route_map = RouteMap(
+            "test",
+            [
+                RouteMapEntry(
+                    sequence=10,
+                    conditions=(MatchCommunity(frozenset({Community(1, 666)})),),
+                    set_actions=(set_local_pref(200),),
+                ),
+                RouteMapEntry(
+                    sequence=20,
+                    conditions=(MatchPrefixIn((Prefix.from_string("10.0.0.0/8"),), max_length=24),),
+                ),
+            ],
+        )
+        tagged = PathAttributes(communities=CommunitySet.of("1:666"))
+        result = route_map.evaluate(Prefix.from_string("192.0.2.0/24"), tagged)
+        assert result.permitted
+        assert result.attributes.local_pref == 200
+        untagged = PathAttributes()
+        ok = route_map.evaluate(Prefix.from_string("10.1.0.0/16"), untagged)
+        assert ok.permitted
+        denied = route_map.evaluate(Prefix.from_string("192.0.2.0/24"), untagged)
+        assert not denied.permitted
+
+    def test_sequence_must_increase(self):
+        route_map = RouteMap("x", [RouteMapEntry(sequence=10)])
+        with pytest.raises(PolicyError):
+            route_map.add_entry(RouteMapEntry(sequence=10))
+
+    def test_match_conditions(self):
+        attrs = PathAttributes(communities=CommunitySet.of("5:5"))
+        prefix = Prefix.from_string("10.0.0.0/24")
+        assert MatchCommunity(frozenset({Community(5, 5)})).matches(prefix, attrs, 1)
+        assert not MatchCommunity(
+            frozenset({Community(5, 5), Community(6, 6)}), require_all=True
+        ).matches(prefix, attrs, 1)
+        assert MatchNeighbor(frozenset({1})).matches(prefix, attrs, 1)
+        assert MatchPrefixLength(24, 32).matches(prefix, attrs, 1)
+        assert not MatchPrefixLength(25, 32).matches(prefix, attrs, 1)
+
+    def test_set_actions(self):
+        attrs = PathAttributes(as_path=ASPath.of(1), communities=CommunitySet.of("1:1"))
+        attrs = add_communities("2:2")(attrs)
+        attrs = prepend_as(7, 2)(attrs)
+        attrs = set_local_pref(50)(attrs)
+        assert Community(2, 2) in attrs.communities
+        assert attrs.as_path.asns()[:2] == [7, 7]
+        assert attrs.local_pref == 50
+        assert len(strip_all_communities()(attrs).communities) == 0
+
+    def test_nanog_rtbh_map_orderings(self):
+        blackholes = frozenset({Community(65535, 666)})
+        customers = (Prefix.from_string("203.0.113.0/24"),)
+        vulnerable = nanog_rtbh_route_map("rtbh", blackholes, customers)
+        fixed = nanog_rtbh_route_map(
+            "rtbh-fixed", blackholes, customers, validate_before_blackhole=True
+        )
+        hijack = Prefix.from_string("198.51.100.66/32")
+        tagged = PathAttributes(communities=CommunitySet.of("65535:666"))
+        vulnerable_result = vulnerable.evaluate(hijack, tagged)
+        assert vulnerable_result.permitted and vulnerable_result.blackholed
+        fixed_result = fixed.evaluate(hijack, tagged)
+        assert not (fixed_result.permitted and fixed_result.blackholed)
+
+
+class TestVendors:
+    def test_defaults(self):
+        assert JUNIPER_PROFILE.send_communities_by_default
+        assert not CISCO_PROFILE.send_communities_by_default
+        assert CISCO_PROFILE.effective_send_communities(True)
+        assert not CISCO_PROFILE.effective_send_communities(False)
+
+    def test_cisco_add_limit(self):
+        CISCO_PROFILE.check_added_communities(32)
+        with pytest.raises(PolicyError):
+            CISCO_PROFILE.check_added_communities(33)
+        JUNIPER_PROFILE.check_added_communities(1000)
+
+    def test_max_communities_per_update(self):
+        assert CISCO_PROFILE.max_communities_per_update == (1 << 16) // 4
+
+    def test_profile_lookup(self):
+        assert profile_by_name("junos") is JUNIPER_PROFILE
+        with pytest.raises(PolicyError):
+            profile_by_name("unknown-vendor")

@@ -1,0 +1,200 @@
+"""Tests for probing (Atlas, looking glasses, IP-to-AS) and the Section 7 experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.scenario import build_figure2_topology
+from repro.bgp.prefix import Prefix
+from repro.collectors.platform import CollectorDeployment
+from repro.dataplane.forwarding import DataPlane
+from repro.datasets.giotsas import build_blackhole_list
+from repro.exceptions import AttackError, AupViolationError, ProbingError, TopologyError
+from repro.probing.atlas import AtlasPlatform, VantagePoint
+from repro.probing.ip2as import Ip2AsMapper
+from repro.probing.looking_glass import LookingGlass
+from repro.routing.engine import BgpSimulator
+from repro.wild.blackhole_sweep import BlackholeSweep
+from repro.wild.experiments import RtbhWildExperiment
+from repro.wild.peering import (
+    InjectionPlatform,
+    attach_peering_testbed,
+    attach_research_network,
+)
+from repro.wild.propagation_check import run_propagation_check
+
+
+PREFIX = Prefix.from_string("198.51.100.0/24")
+
+
+@pytest.fixture(scope="module")
+def wild_setup():
+    """A generated Internet with both injection platforms and Atlas probes."""
+    from repro.topology.generator import TopologyGenerator, TopologyParameters
+
+    topology = TopologyGenerator(
+        TopologyParameters(tier1_count=3, transit_count=18, stub_count=50, seed=11)
+    ).generate()
+    peering = attach_peering_testbed(topology, upstream_count=8)
+    research = attach_research_network(topology)
+    atlas = AtlasPlatform.deploy(
+        topology, probe_count=40, exclude_asns={peering.asn, research.asn}
+    )
+    deployment = CollectorDeployment.default_deployment(topology, seed=3)
+    return topology, peering, research, atlas, deployment
+
+
+class TestLookingGlassAndAtlas:
+    def test_looking_glass_entry(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        simulator.announce(1, PREFIX)
+        glass = LookingGlass(simulator, 6)
+        entry = glass.show_route(PREFIX)
+        assert entry is not None
+        assert entry.as_path[-1] == 1
+        assert entry.local_pref == 100
+        assert not entry.blackholed
+        assert glass.route_exists(PREFIX)
+        assert glass.show_candidates(PREFIX)
+        assert glass.show_route(Prefix.from_string("192.0.2.0/24")) is None
+
+    def test_looking_glass_requires_known_as(self):
+        simulator = BgpSimulator(build_figure2_topology())
+        with pytest.raises(ProbingError):
+            LookingGlass(simulator, 999)
+
+    def test_atlas_measurement_and_compare(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        plane = DataPlane(simulator)
+        atlas = AtlasPlatform([VantagePoint(1, 6), VantagePoint(2, 4)])
+        before = atlas.measure(plane, PREFIX)
+        assert before.responsive_probes() == set()
+        simulator.announce(1, PREFIX)
+        plane.rebuild()
+        after = atlas.measure(plane, PREFIX, with_traceroute=True)
+        assert after.responsive_probes() == {1, 2}
+        lost, gained = atlas.compare(before, after)
+        assert lost == set()
+        assert gained == {1, 2}
+        assert after.reachability_fraction() == 1.0
+        assert after.traceroutes[1].reached
+
+    def test_atlas_deploy_excludes(self, wild_setup):
+        topology, peering, research, atlas, _deployment = wild_setup
+        assert peering.asn not in atlas.probe_asns()
+        assert research.asn not in atlas.probe_asns()
+        assert len(atlas.vantage_points) == 40
+
+    def test_atlas_requires_probes(self):
+        with pytest.raises(ProbingError):
+            AtlasPlatform([])
+
+    def test_ip2as_mapping(self, wild_setup):
+        topology, *_rest = wild_setup
+        mapper = Ip2AsMapper.from_topology(topology)
+        some_as = topology.stub_ases()[0]
+        prefix = some_as.prefixes[0]
+        assert mapper.lookup(prefix.host(1)) == some_as.asn
+        assert mapper.lookup_prefix(prefix) == some_as.asn
+        assert mapper.lookup(0) is None
+
+
+class TestInjectionPlatforms:
+    def test_peering_attach(self, wild_setup):
+        topology, peering, _research, _atlas, _deployment = wild_setup
+        assert peering.asn in topology
+        assert len(peering.upstream_asns) == 8
+        assert peering.allocated_prefixes[0].length == 20
+        assert not peering.allows_hijack
+
+    def test_research_network_upstream_policies(self, wild_setup):
+        topology, _peering, research, _atlas, _deployment = wild_setup
+        assert len(research.upstream_asns) == 2
+        behaviors = {
+            topology.get_as(asn).propagation_policy.behavior for asn in research.upstream_asns
+        }
+        assert len(behaviors) == 2  # one forwards, one strips
+
+    def test_cannot_attach_twice(self, wild_setup):
+        topology, peering, *_ = wild_setup
+        with pytest.raises(TopologyError):
+            attach_peering_testbed(topology, asn=peering.asn)
+
+    def test_aup_blocks_hijack_from_peering(self, wild_setup):
+        topology, peering, *_ = wild_setup
+        simulator = BgpSimulator(topology)
+        foreign = Prefix.from_string("100.64.0.0/24")
+        with pytest.raises(AupViolationError):
+            peering.announce(simulator, foreign, hijack=True)
+        with pytest.raises(AupViolationError):
+            peering.announce(simulator, foreign)  # not even without the flag
+
+    def test_research_network_allows_permissioned_hijack(self, wild_setup):
+        topology, _peering, research, *_ = wild_setup
+        simulator = BgpSimulator(topology)
+        foreign = Prefix.from_string("100.64.0.0/24")
+        report = research.announce(simulator, foreign, hijack=True)
+        assert report.announcements_processed > 0
+
+    def test_own_prefix_announcement(self, wild_setup):
+        topology, peering, *_ = wild_setup
+        simulator = BgpSimulator(topology)
+        own = peering.allocated_prefixes[0].subprefix(24, 3)
+        report = peering.announce(simulator, own)
+        assert report.announcements_processed > 0
+
+
+class TestSection7:
+    def test_propagation_check_peering_sees_more_than_research(self, wild_setup):
+        topology, peering, research, _atlas, deployment = wild_setup
+        peering_result = run_propagation_check(topology, peering, deployment)
+        research_result = run_propagation_check(topology, research, deployment)
+        assert peering_result.forwarding_count > 0
+        assert research_result.forwarding_count >= 1
+        # The multi-PoP platform sees far wider propagation (paper: 112 vs 7).
+        assert peering_result.forwarding_count > research_result.forwarding_count
+        assert peering_result.observing_peers
+
+    def test_rtbh_wild_experiment_without_hijack(self, wild_setup):
+        topology, peering, _research, atlas, _deployment = wild_setup
+        experiment = RtbhWildExperiment(topology, peering, atlas)
+        result = experiment.run(use_hijack=False)
+        assert result.target_hops_from_injection >= 2
+        assert result.accepted_at_target
+        assert result.succeeded
+        assert result.probes_reachable_before > 0
+        assert result.probes_reachable_after < result.probes_reachable_before
+
+    def test_rtbh_wild_experiment_with_hijack_updates_irr(self, wild_setup):
+        topology, _peering, research, atlas, _deployment = wild_setup
+        experiment = RtbhWildExperiment(topology, research, atlas)
+        result = experiment.run(
+            use_hijack=True, hijack_space=Prefix.from_string("100.100.0.0/22")
+        )
+        assert result.hijack
+        assert result.irr_updated
+        assert result.succeeded
+
+    def test_rtbh_wild_requires_hijack_space(self, wild_setup):
+        topology, _peering, research, atlas, _deployment = wild_setup
+        experiment = RtbhWildExperiment(topology, research, atlas)
+        with pytest.raises(AttackError):
+            experiment.run(use_hijack=True)
+
+    def test_blackhole_sweep(self, wild_setup):
+        topology, peering, _research, atlas, _deployment = wild_setup
+        blackhole_list = build_blackhole_list(topology, seed=5)
+        sweep = BlackholeSweep(topology, peering, atlas, blackhole_list)
+        result = sweep.run(confirm=True)
+        assert result.probe_count == len(atlas.vantage_points)
+        assert len(result.outcomes) == len(blackhole_list.verified()) + 1
+        assert result.confirmed
+        effective = result.effective_communities()
+        assert effective, "no community induced blackholing"
+        assert 0.0 < result.effective_fraction() <= 1.0
+        assert result.affected_probes() <= {vp.probe_id for vp in atlas.vantage_points}
+        # Affected pairs include community targets that are not direct peers of
+        # the injection platform (the paper's multi-hop finding).
+        assert result.multi_hop_pairs() + result.offpath_pairs() > 0

@@ -1,0 +1,372 @@
+"""Tests for the routing simulator: decision process, router, engine, route server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bgp.aspath import ASPath
+from repro.bgp.attributes import Origin, PathAttributes
+from repro.bgp.community import BLACKHOLE, Community, CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import Announcement, RouteEntry
+from repro.exceptions import RoutingError
+from repro.policy.community_policy import ForwardAllPolicy, StripAllPolicy
+from repro.routing.decision import best_path, compare_routes, rank_routes
+from repro.routing.engine import BgpSimulator
+from repro.routing.route_server import RouteServer
+from repro.routing.router import Router
+from repro.attacks.scenario import (
+    build_figure2_topology,
+    build_figure7_topology,
+    build_figure9_ixp,
+)
+from repro.policy.vendor import CISCO_PROFILE
+from repro.topology.asys import AutonomousSystem
+from repro.topology.relationships import Relationship
+from repro.topology.topology import Topology
+
+
+PREFIX = Prefix.from_string("203.0.113.0/24")
+
+
+def entry(learned_from: int, path: list[int], local_pref: int | None = None, **kwargs) -> RouteEntry:
+    return RouteEntry(
+        prefix=PREFIX,
+        attributes=PathAttributes(as_path=ASPath.of(*path), local_pref=local_pref),
+        learned_from=learned_from,
+        **kwargs,
+    )
+
+
+class TestDecisionProcess:
+    def test_highest_local_pref_wins(self):
+        a = entry(1, [1, 9], local_pref=200)
+        b = entry(2, [2, 9], local_pref=100)
+        assert best_path([a, b]) is a
+
+    def test_shortest_path_wins_on_equal_pref(self):
+        a = entry(1, [1, 5, 9])
+        b = entry(2, [2, 9])
+        assert best_path([a, b]) is b
+
+    def test_origin_breaks_ties(self):
+        a = entry(1, [1, 9])
+        b = RouteEntry(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(2, 9), origin=Origin.INCOMPLETE),
+            learned_from=2,
+        )
+        assert best_path([a, b]) is a
+
+    def test_lowest_neighbor_asn_is_final_tiebreak(self):
+        a = entry(7, [7, 9])
+        b = entry(3, [3, 9])
+        assert best_path([a, b]).learned_from == 3
+
+    def test_rejected_routes_never_win(self):
+        a = entry(1, [1, 9], rejected=True)
+        b = entry(2, [2, 5, 9])
+        assert best_path([a, b]) is b
+        assert best_path([a]) is None
+        assert best_path([]) is None
+
+    def test_compare_and_rank(self):
+        a = entry(1, [1, 9], local_pref=200)
+        b = entry(2, [2, 9])
+        assert compare_routes(a, b) == -1
+        assert compare_routes(b, a) == 1
+        assert rank_routes([b, a]) == [a, b]
+
+
+def two_as_router() -> Router:
+    asys = AutonomousSystem(asn=10, propagation_policy=ForwardAllPolicy())
+    return Router(asys, {20: Relationship.PROVIDER, 30: Relationship.CUSTOMER})
+
+
+class TestRouter:
+    def test_origination_and_export(self):
+        router = two_as_router()
+        router.originate(PREFIX)
+        decision = router.export_to(20, PREFIX)
+        assert decision.export
+        assert decision.announcement.attributes.as_path.asns() == [10]
+        assert decision.announcement.origin_asn == 10
+
+    def test_loop_prevention(self):
+        router = two_as_router()
+        announcement = Announcement(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(20, 10, 5)),
+            sender_asn=20,
+            origin_asn=5,
+        )
+        result = router.process_announcement(announcement)
+        assert not result.accepted
+        assert result.reason == "as-path loop"
+
+    def test_announcement_from_non_neighbor_rejected(self):
+        router = two_as_router()
+        announcement = Announcement(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(99)),
+            sender_asn=99,
+            origin_asn=99,
+        )
+        with pytest.raises(RoutingError):
+            router.process_announcement(announcement)
+
+    def test_local_pref_from_neighbor_is_ignored(self):
+        router = two_as_router()
+        announcement = Announcement(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(20, 5), local_pref=500),
+            sender_asn=20,
+            origin_asn=5,
+        )
+        result = router.process_announcement(announcement)
+        assert result.accepted
+        assert result.entry.attributes.effective_local_pref() == 100
+
+    def test_valley_free_export(self):
+        router = two_as_router()
+        # Learned from the provider: export to the customer only.
+        announcement = Announcement(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(20, 5)),
+            sender_asn=20,
+            origin_asn=5,
+        )
+        router.process_announcement(announcement)
+        assert router.export_to(30, PREFIX).export
+        assert not router.export_to(20, PREFIX).export  # split horizon anyway
+        # Learned from the customer: export everywhere.
+        router2 = two_as_router()
+        router2.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(as_path=ASPath.of(30, 5)),
+                sender_asn=30,
+                origin_asn=5,
+            )
+        )
+        assert router2.export_to(20, PREFIX).export
+
+    def test_no_export_community_blocks_export(self):
+        router = two_as_router()
+        router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(
+                    as_path=ASPath.of(30, 5),
+                    communities=CommunitySet([Community.from_int(0xFFFFFF01)]),
+                ),
+                sender_asn=30,
+                origin_asn=5,
+            )
+        )
+        decision = router.export_to(20, PREFIX)
+        assert not decision.export
+        assert decision.reason == "NO_EXPORT"
+
+    def test_cisco_without_send_community_strips_everything(self):
+        asys = AutonomousSystem(asn=10, propagation_policy=ForwardAllPolicy(), vendor=CISCO_PROFILE)
+        router = Router(
+            asys, {30: Relationship.CUSTOMER, 20: Relationship.CUSTOMER},
+            send_community_configured=False,
+        )
+        router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(
+                    as_path=ASPath.of(30, 5), communities=CommunitySet.of("5:1")
+                ),
+                sender_asn=30,
+                origin_asn=5,
+            )
+        )
+        exported = router.export_to(20, PREFIX).announcement
+        assert len(exported.attributes.communities) == 0
+
+    def test_export_additions(self):
+        router = two_as_router()
+        router.export_community_additions[20] = CommunitySet.of("99:666")
+        router.originate(PREFIX)
+        exported = router.export_to(20, PREFIX).announcement
+        assert Community(99, 666) in exported.attributes.communities
+
+    def test_prepend_applied_on_export_only(self):
+        from repro.policy.services import CommunityServiceCatalog
+
+        asys = AutonomousSystem(
+            asn=10,
+            propagation_policy=ForwardAllPolicy(),
+            services=CommunityServiceCatalog.standard_transit_catalog(10),
+        )
+        router = Router(asys, {30: Relationship.CUSTOMER, 20: Relationship.CUSTOMER})
+        router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(
+                    as_path=ASPath.of(30, 5), communities=CommunitySet.of("10:422")
+                ),
+                sender_asn=30,
+                origin_asn=5,
+            )
+        )
+        best = router.loc_rib.best(PREFIX)
+        assert best.export_prepend == 2
+        assert best.attributes.as_path.asns() == [30, 5]  # local path untouched
+        exported = router.export_to(20, PREFIX).announcement
+        assert exported.attributes.as_path.asns() == [10, 10, 10, 30, 5]
+
+
+class TestSimulator:
+    def test_propagation_reaches_everyone(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        prefix = Prefix.from_string("198.51.100.0/24")
+        simulator.announce(1, prefix)
+        assert simulator.ases_with_route(prefix) == [1, 2, 3, 4, 5, 6]
+        path_at_6 = simulator.observed_path(6, prefix)
+        assert path_at_6[0] == 6
+        assert path_at_6[-1] == 1
+
+    def test_withdrawal_removes_routes(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        prefix = Prefix.from_string("198.51.100.0/24")
+        simulator.announce(1, prefix)
+        simulator.withdraw(1, prefix)
+        assert simulator.ases_with_route(prefix) == []
+
+    def test_unknown_as_raises(self):
+        simulator = BgpSimulator(build_figure2_topology())
+        with pytest.raises(RoutingError):
+            simulator.router(999)
+
+    def test_blackhole_community_triggers_at_target(self):
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology)
+        victim = Prefix.from_string("203.0.113.0/24")
+        # The attacker (AS2) adds AS3's blackhole community on its re-announcement.
+        attacker = simulator.router(2)
+        for neighbor in attacker.neighbors():
+            attacker.export_community_additions[neighbor] = CommunitySet.of(
+                Community(3, 666), BLACKHOLE
+            )
+        simulator.announce(1, victim)
+        assert 3 in simulator.ases_with_blackholed_route(victim)
+        best_at_3 = simulator.best_route(3, victim)
+        assert best_at_3.learned_from == 2  # the tagged, longer path won
+        assert best_at_3.blackholed
+
+    def test_more_specific_hijack_wins_in_fib(self):
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology)
+        victim = Prefix.from_string("203.0.113.0/24")
+        hijack = victim.subprefix(32, 1)
+        simulator.announce(1, victim)
+        simulator.announce(2, hijack, communities=CommunitySet.of("3:666"))
+        best = simulator.best_route_for_address(4, hijack.host(0))
+        assert best is not None
+        assert best.prefix == hijack
+
+    def test_collector_peering_exports_full_table(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        prefix = Prefix.from_string("198.51.100.0/24")
+        simulator.announce(1, prefix)
+        simulator.register_collector_peering(4, 65100)
+        exports = simulator.router(4).export_all_to(65100)
+        assert any(a.prefix == prefix for a in exports)
+
+    def test_strip_all_policy_limits_community_propagation(self):
+        topology = build_figure2_topology()
+        # AS4 strips every community it did not set itself.
+        topology.get_as(4).propagation_policy = StripAllPolicy()
+        simulator = BgpSimulator(topology)
+        prefix = Prefix.from_string("198.51.100.0/24")
+        simulator.announce(1, prefix, communities=CommunitySet.of("1:200"))
+        at_2 = simulator.best_route(2, prefix)
+        assert Community(1, 200) in at_2.attributes.communities
+        at_3 = simulator.best_route(3, prefix)
+        assert Community(1, 200) not in at_3.attributes.communities
+
+
+class TestRouteServer:
+    def make_announcement(self, member: int, prefix: Prefix, *communities: str) -> Announcement:
+        return Announcement(
+            prefix=prefix,
+            attributes=PathAttributes(
+                as_path=ASPath.of(member), communities=CommunitySet.of(*communities)
+            ),
+            sender_asn=member,
+            origin_asn=member,
+        )
+
+    def test_default_redistribution_to_all(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        decision = server.receive(self.make_announcement(1, prefix))
+        assert 4 in decision.redistributed_to
+        assert server.member_has_route(4, prefix)
+        assert not server.member_has_route(1, prefix)  # never back to the sender
+
+    def test_selective_announce(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        announce_to_4 = str(ixp.route_server_config.announce_to(4))
+        decision = server.receive(self.make_announcement(1, prefix, announce_to_4))
+        assert decision.redistributed_to == frozenset({4})
+        assert server.member_has_route(4, prefix)
+        assert not server.member_has_route(2, prefix)
+
+    def test_suppression_wins_over_announce(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        announce_to_4 = str(ixp.route_server_config.announce_to(4))
+        suppress_to_4 = str(ixp.route_server_config.suppress_to(4))
+        decision = server.receive(
+            self.make_announcement(2, prefix, announce_to_4, suppress_to_4)
+        )
+        assert 4 not in decision.redistributed_to
+        assert 4 in decision.suppressed_to
+
+    def test_announce_wins_when_order_flipped(self):
+        _topology, ixp = build_figure9_ixp()
+        ixp.route_server_config.suppress_before_redistribute = False
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        announce_to_4 = str(ixp.route_server_config.announce_to(4))
+        suppress_to_4 = str(ixp.route_server_config.suppress_to(4))
+        decision = server.receive(
+            self.make_announcement(2, prefix, announce_to_4, suppress_to_4)
+        )
+        assert 4 in decision.redistributed_to
+
+    def test_control_communities_are_stripped_on_redistribution(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        announce_to_4 = str(ixp.route_server_config.announce_to(4))
+        server.receive(self.make_announcement(1, prefix, announce_to_4, "1:100"))
+        redistributed = server.routes_for_member(4)[prefix]
+        assert Community(1, 100) in redistributed.attributes.communities
+        assert ixp.route_server_config.announce_to(4) not in redistributed.attributes.communities
+
+    def test_non_member_rejected(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        with pytest.raises(RoutingError):
+            server.receive(self.make_announcement(999, Prefix.from_string("203.0.113.0/24")))
+
+    def test_suppress_all(self):
+        _topology, ixp = build_figure9_ixp()
+        server = RouteServer(ixp)
+        prefix = Prefix.from_string("203.0.113.0/24")
+        suppress_all = str(ixp.route_server_config.suppress_to_all())
+        decision = server.receive(self.make_announcement(1, prefix, suppress_all))
+        assert decision.redistributed_to == frozenset()

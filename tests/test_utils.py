@@ -1,0 +1,263 @@
+"""Tests for repro.utils: IP arithmetic, statistics, RNG, table rendering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import MeasurementError, PrefixError
+from repro.utils.ip import (
+    format_ipv4,
+    format_ipv6,
+    mask_for_length,
+    network_address,
+    parse_ipv4,
+    parse_ipv6,
+    prefix_contains,
+    prefixes_overlap,
+    host_count,
+)
+from repro.utils.rand import DeterministicRng
+from repro.utils.stats import Ecdf, Histogram, fraction, percentile, summarize
+from repro.utils.tables import Table, format_count
+
+
+# ----------------------------------------------------------------------- ip
+class TestIpv4:
+    def test_parse_basic(self):
+        assert parse_ipv4("10.0.0.1") == 0x0A000001
+
+    def test_parse_zero(self):
+        assert parse_ipv4("0.0.0.0") == 0
+
+    def test_parse_broadcast(self):
+        assert parse_ipv4("255.255.255.255") == 0xFFFFFFFF
+
+    def test_format_roundtrip(self):
+        assert format_ipv4(parse_ipv4("192.0.2.123")) == "192.0.2.123"
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("256.0.0.1")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("10.0.0")
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(PrefixError):
+            parse_ipv4("a.b.c.d")
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(PrefixError):
+            format_ipv4(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_roundtrip_property(self, value):
+        assert parse_ipv4(format_ipv4(value)) == value
+
+
+class TestIpv6:
+    def test_parse_full(self):
+        assert parse_ipv6("2001:db8:0:0:0:0:0:1") == (0x20010DB8 << 96) | 1
+
+    def test_parse_compressed(self):
+        assert parse_ipv6("2001:db8::1") == (0x20010DB8 << 96) | 1
+
+    def test_parse_all_zero(self):
+        assert parse_ipv6("::") == 0
+
+    def test_format_compresses(self):
+        assert format_ipv6((0x20010DB8 << 96) | 1) == "2001:db8::1"
+
+    def test_rejects_double_compression(self):
+        with pytest.raises(PrefixError):
+            parse_ipv6("2001::db8::1")
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(PrefixError):
+            parse_ipv6("1:2:3:4:5:6:7:8:9")
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1))
+    def test_roundtrip_property(self, value):
+        assert parse_ipv6(format_ipv6(value)) == value
+
+
+class TestMasks:
+    def test_mask_24(self):
+        assert mask_for_length(24) == 0xFFFFFF00
+
+    def test_mask_0(self):
+        assert mask_for_length(0) == 0
+
+    def test_mask_32(self):
+        assert mask_for_length(32) == 0xFFFFFFFF
+
+    def test_mask_rejects_invalid(self):
+        with pytest.raises(PrefixError):
+            mask_for_length(33)
+
+    def test_network_address(self):
+        assert network_address(parse_ipv4("192.0.2.77"), 24) == parse_ipv4("192.0.2.0")
+
+    def test_host_count(self):
+        assert host_count(24) == 256
+        assert host_count(32) == 1
+
+    def test_contains(self):
+        outer = parse_ipv4("10.0.0.0")
+        inner = parse_ipv4("10.1.2.0")
+        assert prefix_contains(outer, 8, inner, 24)
+        assert not prefix_contains(inner, 24, outer, 8)
+
+    def test_overlap_symmetric(self):
+        a = parse_ipv4("10.0.0.0")
+        b = parse_ipv4("10.0.1.0")
+        assert prefixes_overlap(a, 16, b, 24)
+        assert prefixes_overlap(b, 24, a, 16)
+        assert not prefixes_overlap(a, 24, b, 24)
+
+
+# -------------------------------------------------------------------- stats
+class TestEcdf:
+    def test_empty(self):
+        ecdf = Ecdf([])
+        assert len(ecdf) == 0
+        assert ecdf.at(10) == 0.0
+        assert not ecdf
+
+    def test_at_and_survival(self):
+        ecdf = Ecdf([1, 2, 3, 4])
+        assert ecdf.at(2) == pytest.approx(0.5)
+        assert ecdf.survival(2) == pytest.approx(0.5)
+        assert ecdf.at(0) == 0.0
+        assert ecdf.at(10) == 1.0
+
+    def test_points_monotone(self):
+        ecdf = Ecdf([3, 1, 2, 2, 5])
+        points = ecdf.points()
+        xs = [p.x for p in points]
+        fractions = [p.fraction for p in points]
+        assert xs == sorted(xs)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_quantile_median(self):
+        assert Ecdf([1, 2, 3]).quantile(0.5) == pytest.approx(2)
+
+    def test_mean(self):
+        assert Ecdf([2, 4]).mean() == pytest.approx(3.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            Ecdf([]).mean()
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), min_size=1))
+    def test_at_is_monotone_property(self, values):
+        ecdf = Ecdf(values)
+        lo, hi = min(values), max(values)
+        assert ecdf.at(lo - 1) <= ecdf.at(lo) <= ecdf.at(hi) <= 1.0
+        assert ecdf.at(hi) == pytest.approx(1.0)
+
+
+class TestStatsHelpers:
+    def test_fraction_zero_denominator(self):
+        assert fraction(5, 0) == 0.0
+
+    def test_fraction(self):
+        assert fraction(1, 4) == pytest.approx(0.25)
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 50) == pytest.approx(5.0)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(MeasurementError):
+            percentile([1], 101)
+
+    def test_percentile_empty(self):
+        with pytest.raises(MeasurementError):
+            percentile([], 50)
+
+    def test_summarize(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary["min"] == 1
+        assert summary["max"] == 5
+        assert summary["median"] == 3
+        assert summary["count"] == 5
+
+    def test_histogram_top(self):
+        histogram = Histogram(["a", "b", "a", "a", "c"])
+        assert histogram.top(1) == [("a", 3)]
+        assert histogram.total() == 5
+        assert histogram.count("b") == 1
+        assert "c" in histogram
+
+    def test_histogram_fractions(self):
+        histogram = Histogram(["x", "x", "y", "y"])
+        fractions = histogram.fractions()
+        assert fractions["x"] == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------- rng
+class TestDeterministicRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(5)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_children_are_independent_and_stable(self):
+        a1 = DeterministicRng(5).child("alpha")
+        a2 = DeterministicRng(5).child("alpha")
+        b = DeterministicRng(5).child("beta")
+        seq_a1 = [a1.randint(0, 1000) for _ in range(5)]
+        seq_a2 = [a2.randint(0, 1000) for _ in range(5)]
+        seq_b = [b.randint(0, 1000) for _ in range(5)]
+        assert seq_a1 == seq_a2
+        assert seq_a1 != seq_b
+
+    def test_sample_bounded(self):
+        rng = DeterministicRng(1)
+        assert len(rng.sample([1, 2, 3], 10)) == 3
+
+    def test_chance_extremes(self):
+        rng = DeterministicRng(2)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_pareto_respects_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(100):
+            value = rng.pareto_int(1.5, minimum=1, maximum=4)
+            assert 1 <= value <= 4
+
+    def test_shuffle_preserves_elements(self):
+        rng = DeterministicRng(4)
+        items = list(range(20))
+        assert sorted(rng.shuffle(items)) == items
+
+    def test_weighted_choice_picks_from_items(self):
+        rng = DeterministicRng(5)
+        assert rng.weighted_choice(["a", "b"], [1.0, 1.0]) in {"a", "b"}
+
+
+# -------------------------------------------------------------------- tables
+class TestTables:
+    def test_render_alignment(self):
+        table = Table(["A", "B"], title="demo")
+        table.add_row(["x", 1])
+        table.add_row(["longer", 20000])
+        text = table.render()
+        assert "demo" in text
+        assert "20,000" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, separator, two rows
+
+    def test_wrong_column_count_rejected(self):
+        table = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            table.add_row(["only one"])
+
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_count(0.5) == "0.50"
+        assert format_count(True) == "True"
