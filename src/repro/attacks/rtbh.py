@@ -84,14 +84,17 @@ class RtbhAttack:
         """Execute the attack and return the measured outcome."""
         roles = self.roles
         vantage_points = self._vantage_points(vantage_points)
-        victim_address = self.victim_prefix.host(1)
+        victim_address = self.victim_prefix.host()
 
         # Baseline: the attackee announces its prefix, nobody attacks.
         baseline = BgpSimulator(self.topology)
         baseline.announce(roles.attackee_asn, self.victim_prefix)
         baseline_plane = DataPlane(baseline)
+        family = self.victim_prefix.family
         reachable_before = [
-            asn for asn in vantage_points if baseline_plane.ping(asn, victim_address).reachable
+            asn
+            for asn in vantage_points
+            if baseline_plane.ping(asn, victim_address, family).reachable
         ]
 
         # The attack run.
@@ -119,7 +122,7 @@ class RtbhAttack:
         unreachable_from = [
             asn
             for asn in reachable_before
-            if not attacked_plane.ping(asn, probe_address).reachable
+            if not attacked_plane.ping(asn, probe_address, family).reachable
         ]
         target_drops = roles.community_target_asn in blackholed_at
         succeeded = target_drops or bool(unreachable_from)

@@ -138,15 +138,23 @@ class Prefix:
         """Return the first (network) address as an integer."""
         return self.network
 
-    def host(self, offset: int = 1) -> int:
-        """Return the address ``network + offset`` (a representative host)."""
+    def host(self, offset: int | None = None) -> int:
+        """Return the address ``network + offset`` (a representative host).
+
+        The default offset is 1, clamped to 0 for host routes (/32, /128)
+        whose only address is the network address itself — so e.g. pinging
+        a /32 RTBH announcement targets the blackholed address instead of
+        raising.  An explicit out-of-range offset still raises.
+        """
         bits = self.family.bits
         size = 1 << (bits - self.length)
+        if offset is None:
+            offset = 1 if size > 1 else 0
         if not 0 <= offset < size:
             raise PrefixError(f"host offset {offset} out of range for /{self.length}")
         return self.network + offset
 
-    def host_text(self, offset: int = 1) -> str:
+    def host_text(self, offset: int | None = None) -> str:
         """Return a representative host address in presentation format."""
         address = self.host(offset)
         if self.is_ipv4:

@@ -9,10 +9,12 @@ collectors and looking glasses expose.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from types import MappingProxyType
+from typing import Callable, Iterable, Iterator, Mapping
 
-from repro.bgp.prefix import Prefix
+from repro.bgp.prefix import AddressFamily, Prefix
 from repro.bgp.route import RouteEntry
+from repro.net.lpm import LpmTable
 
 
 class AdjRibIn:
@@ -59,6 +61,9 @@ class LocRib:
     def __init__(self):
         self._candidates: dict[Prefix, list[RouteEntry]] = {}
         self._best: dict[Prefix, RouteEntry] = {}
+        #: Per-family radix trie over the best routes, kept in sync with
+        #: ``_best`` so LPM lookups never scan the table (or cross families).
+        self._lpm = LpmTable()
 
     def set_candidates(self, prefix: Prefix, entries: Iterable[RouteEntry]) -> None:
         """Replace the candidate list for ``prefix``."""
@@ -71,9 +76,12 @@ class LocRib:
     def set_best(self, prefix: Prefix, entry: RouteEntry | None) -> None:
         """Set (or clear, with None) the best route for ``prefix``."""
         if entry is None:
-            self._best.pop(prefix, None)
+            if self._best.pop(prefix, None) is not None:
+                self._lpm.delete(prefix)
         else:
-            self._best[prefix] = entry.replace(best=True)
+            best = entry.replace(best=True)
+            self._best[prefix] = best
+            self._lpm.insert(prefix, best)
 
     def best(self, prefix: Prefix) -> RouteEntry | None:
         """Return the best route for exactly ``prefix`` (no longest-prefix match)."""
@@ -91,21 +99,21 @@ class LocRib:
         """Return every prefix that has a best route."""
         return list(self._best)
 
-    def lookup(self, address: int) -> RouteEntry | None:
-        """Longest-prefix-match lookup of an integer address among best routes."""
-        matches = [
-            entry
-            for prefix, entry in self._best.items()
-            if prefix.contains_address(address)
-        ]
-        if not matches:
-            return None
-        return max(matches, key=lambda entry: entry.prefix.length)
+    def lookup(self, address: int, family: AddressFamily | None = None) -> RouteEntry | None:
+        """Longest-prefix-match lookup of an integer address among best routes.
+
+        The match is confined to ``family``'s trie (inferred from the
+        address magnitude when not given), so an IPv4 address can never
+        match an IPv6 best route.
+        """
+        hit = self._lpm.longest_match(address, family)
+        return hit[1] if hit is not None else None
 
     def remove(self, prefix: Prefix) -> None:
         """Drop the prefix from both candidates and best."""
         self._candidates.pop(prefix, None)
-        self._best.pop(prefix, None)
+        if self._best.pop(prefix, None) is not None:
+            self._lpm.delete(prefix)
 
     def __len__(self) -> int:
         return len(self._best)
@@ -122,7 +130,16 @@ class RibSnapshot:
     """A read-only copy of an AS's best routes, as a looking glass would show them."""
 
     asn: int
-    entries: dict[Prefix, RouteEntry] = field(default_factory=dict)
+    entries: Mapping[Prefix, RouteEntry] = field(default_factory=dict)
+    #: Lazily built trie over ``entries``; built at most once, which is
+    #: safe because the entry table is frozen in ``__post_init__``.
+    _lpm: LpmTable | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # The snapshot is a read-only view (the class contract, and what
+        # the cached LPM trie relies on): detach and freeze the entry
+        # table so later mutation cannot desynchronise the trie.
+        self.entries = MappingProxyType(dict(self.entries))
 
     @classmethod
     def from_loc_rib(cls, asn: int, loc_rib: LocRib) -> "RibSnapshot":
@@ -133,9 +150,22 @@ class RibSnapshot:
         """Return the best route for exactly ``prefix``."""
         return self.entries.get(prefix)
 
+    def _trie(self) -> LpmTable:
+        if self._lpm is None:
+            table = LpmTable()
+            for prefix, entry in self.entries.items():
+                table.insert(prefix, entry)
+            self._lpm = table
+        return self._lpm
+
     def covering(self, prefix: Prefix) -> list[RouteEntry]:
-        """Return routes whose prefix covers ``prefix`` (any specificity)."""
-        return [e for p, e in self.entries.items() if p.contains_prefix(prefix)]
+        """Return routes whose prefix covers ``prefix`` (least specific first)."""
+        return [entry for _, entry in self._trie().covering(prefix)]
+
+    def lookup(self, address: int, family: AddressFamily | None = None) -> RouteEntry | None:
+        """Longest-prefix-match lookup of an integer address in the snapshot."""
+        hit = self._trie().longest_match(address, family)
+        return hit[1] if hit is not None else None
 
     def select(self, predicate: Callable[[RouteEntry], bool]) -> list[RouteEntry]:
         """Return routes matching an arbitrary predicate."""

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bgp.prefix import Prefix
+from repro.bgp.prefix import AddressFamily, Prefix
 from repro.bgp.rib import LocRib
+from repro.bgp.route import RouteEntry
+from repro.net.lpm import LpmTable
 
 
 @dataclass(frozen=True)
@@ -38,23 +40,32 @@ class Fib:
     def __init__(self, asn: int):
         self.asn = asn
         self._entries: dict[Prefix, FibEntry] = {}
+        #: Per-family radix trie mirroring ``_entries`` for O(bits) lookups.
+        self._lpm = LpmTable()
 
     def install(self, entry: FibEntry) -> None:
         """Install (or replace) the entry for the entry's prefix."""
         self._entries[entry.prefix] = entry
+        self._lpm.insert(entry.prefix, entry)
 
     def remove(self, prefix: Prefix) -> None:
         """Remove the entry for ``prefix`` if present."""
-        self._entries.pop(prefix, None)
+        if self._entries.pop(prefix, None) is not None:
+            self._lpm.delete(prefix)
 
-    def lookup(self, address: int) -> FibEntry | None:
-        """Longest-prefix-match lookup for an integer IPv4/IPv6 address."""
-        best: FibEntry | None = None
-        for prefix, entry in self._entries.items():
-            if prefix.contains_address(address):
-                if best is None or prefix.length > best.prefix.length:
-                    best = entry
-        return best
+    def lookup(self, address: int, family: AddressFamily | None = None) -> FibEntry | None:
+        """Longest-prefix-match lookup for an integer IPv4/IPv6 address.
+
+        Matching is per family: an IPv4 address (or any address whose
+        family was passed explicitly) is only matched against prefixes
+        of the same family.
+        """
+        hit = self._lpm.longest_match(address, family)
+        return hit[1] if hit is not None else None
+
+    def get(self, prefix: Prefix) -> FibEntry | None:
+        """Return the entry installed for exactly ``prefix``."""
+        return self._entries.get(prefix)
 
     def entries(self) -> list[FibEntry]:
         """Return all installed entries."""
@@ -67,25 +78,43 @@ class Fib:
         return prefix in self._entries
 
 
-def build_fib(asn: int, loc_rib: LocRib, originated: set[Prefix] = frozenset()) -> Fib:
-    """Build the FIB of one AS from its Loc-RIB.
+def fib_entry_for(
+    asn: int, prefix: Prefix, best: RouteEntry | None, originated: bool
+) -> FibEntry | None:
+    """Derive the FIB entry one AS should hold for ``prefix``.
 
     Originated prefixes become local-delivery entries; blackholed best
     routes become discard entries; everything else points at the
-    neighbor the best route was learned from.
+    neighbor the best route was learned from.  Returns None when the AS
+    should hold no entry at all (no route).
     """
+    if originated:
+        return FibEntry(prefix=prefix, next_hop_asn=None, blackholed=False)
+    if best is None:
+        return None
+    if best.blackholed:
+        return FibEntry(prefix=prefix, next_hop_asn=None, blackholed=True)
+    if best.learned_from == asn:
+        return FibEntry(prefix=prefix, next_hop_asn=None, blackholed=False)
+    return FibEntry(prefix=prefix, next_hop_asn=best.learned_from, blackholed=False)
+
+
+def build_fib(asn: int, loc_rib: LocRib, originated: set[Prefix] = frozenset()) -> Fib:
+    """Build the FIB of one AS from scratch from its Loc-RIB."""
     fib = Fib(asn)
     for prefix in originated:
-        fib.install(FibEntry(prefix=prefix, next_hop_asn=None, blackholed=False))
+        fib.install(fib_entry_for(asn, prefix, None, True))
     for entry in loc_rib.best_routes():
         if entry.prefix in originated:
             continue
-        if entry.blackholed:
-            fib.install(FibEntry(prefix=entry.prefix, next_hop_asn=None, blackholed=True))
-        elif entry.learned_from == asn:
-            fib.install(FibEntry(prefix=entry.prefix, next_hop_asn=None, blackholed=False))
-        else:
-            fib.install(
-                FibEntry(prefix=entry.prefix, next_hop_asn=entry.learned_from, blackholed=False)
-            )
+        fib.install(fib_entry_for(asn, entry.prefix, entry, False))
     return fib
+
+
+def patch_fib(fib: Fib, asn: int, loc_rib: LocRib, originated: set[Prefix], prefix: Prefix) -> None:
+    """Re-derive and install/remove the single FIB entry for ``prefix``."""
+    entry = fib_entry_for(asn, prefix, loc_rib.best(prefix), prefix in originated)
+    if entry is None:
+        fib.remove(prefix)
+    else:
+        fib.install(entry)

@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.bgp.prefix import Prefix
-from repro.dataplane.fib import Fib, build_fib
+from repro.bgp.prefix import AddressFamily, Prefix
+from repro.dataplane.fib import Fib, build_fib, patch_fib
 from repro.exceptions import DataPlaneError
-from repro.routing.engine import BgpSimulator
+from repro.net.lpm import infer_family
+from repro.routing.engine import BgpSimulator, SimulationReport
 
 
 class ForwardingOutcome(str, Enum):
@@ -65,12 +66,31 @@ class DataPlane:
         self.fibs: dict[int, Fib] = {}
         self.rebuild()
 
-    def rebuild(self) -> None:
-        """Rebuild every AS's FIB from the current control-plane state."""
-        self.fibs = {}
-        for asn, router in self.simulator.routers.items():
+    def rebuild(self, report: SimulationReport | None = None) -> None:
+        """Bring the FIBs in sync with the current control-plane state.
+
+        Without a ``report`` every AS's FIB is rebuilt from scratch.  With
+        the :class:`SimulationReport` returned by ``announce``/``withdraw``,
+        only the (router, prefix) pairs whose best route changed during
+        that run are re-derived — an incremental patch that costs
+        O(dirty entries) instead of O(ASes x table size).  Falls back to a
+        full rebuild when the router set changed since the last build.
+        """
+        routers = self.simulator.routers
+        if report is None or self.fibs.keys() != routers.keys():
+            self.fibs = {}
+            for asn, router in routers.items():
+                originated = set(router.originated)
+                self.fibs[asn] = build_fib(asn, router.loc_rib, originated)
+            return
+        for asn, prefixes in report.dirty.items():
+            router = routers.get(asn)
+            if router is None:
+                continue
+            fib = self.fibs[asn]
             originated = set(router.originated)
-            self.fibs[asn] = build_fib(asn, router.loc_rib, originated)
+            for prefix in prefixes:
+                patch_fib(fib, asn, router.loc_rib, originated, prefix)
 
     def fib(self, asn: int) -> Fib:
         """Return the FIB of ``asn``."""
@@ -80,15 +100,19 @@ class DataPlane:
             raise DataPlaneError(f"no FIB for AS{asn}") from exc
 
     # -------------------------------------------------------------- forwarding
-    def traceroute(self, source_asn: int, destination: int) -> TracerouteResult:
+    def traceroute(
+        self, source_asn: int, destination: int, family: AddressFamily | None = None
+    ) -> TracerouteResult:
         """Forward a packet from ``source_asn`` toward integer address ``destination``."""
         if source_asn not in self.fibs:
             raise DataPlaneError(f"source AS{source_asn} is not part of the simulation")
+        if family is None:
+            family = infer_family(destination)
         path = [source_asn]
         current = source_asn
         for _ in range(self.max_ttl):
             fib = self.fibs[current]
-            entry = fib.lookup(destination)
+            entry = fib.lookup(destination, family)
             if entry is None:
                 return TracerouteResult(
                     source_asn, destination, ForwardingOutcome.NO_ROUTE, path, dropped_at=current
@@ -115,9 +139,11 @@ class DataPlane:
             source_asn, destination, ForwardingOutcome.TTL_EXPIRED, path, dropped_at=current
         )
 
-    def ping(self, source_asn: int, destination: int) -> PingResult:
+    def ping(
+        self, source_asn: int, destination: int, family: AddressFamily | None = None
+    ) -> PingResult:
         """Return reachability of ``destination`` from ``source_asn``."""
-        trace = self.traceroute(source_asn, destination)
+        trace = self.traceroute(source_asn, destination, family)
         return PingResult(
             source_asn=source_asn,
             destination=destination,
@@ -126,10 +152,21 @@ class DataPlane:
             hops=max(0, len(trace.path) - 1),
         )
 
-    def ping_prefix(self, source_asn: int, prefix: Prefix, host_offset: int = 1) -> PingResult:
-        """Ping a representative host inside ``prefix``."""
-        return self.ping(source_asn, prefix.host(host_offset))
+    def ping_prefix(
+        self, source_asn: int, prefix: Prefix, host_offset: int | None = None
+    ) -> PingResult:
+        """Ping a representative host inside ``prefix``.
 
-    def reachability_matrix(self, sources: list[int], destination: int) -> dict[int, bool]:
+        The default host offset follows :meth:`Prefix.host`: 1, clamped to
+        0 for /32 and /128 host routes (the paper's RTBH scenarios announce
+        exactly such /32 blackhole prefixes).
+        """
+        return self.ping(source_asn, prefix.host(host_offset), prefix.family)
+
+    def reachability_matrix(
+        self, sources: list[int], destination: int, family: AddressFamily | None = None
+    ) -> dict[int, bool]:
         """Return per-source reachability of one destination address."""
-        return {source: self.ping(source, destination).reachable for source in sources}
+        if family is None:
+            family = infer_family(destination)
+        return {source: self.ping(source, destination, family).reachable for source in sources}

@@ -1,0 +1,1 @@
+"""Shared network data structures (longest-prefix-match tries)."""

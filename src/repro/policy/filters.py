@@ -38,32 +38,44 @@ class PrefixFilter:
 
 @dataclass
 class MaxPrefixLengthFilter(PrefixFilter):
-    """Reject prefixes more specific than the configured maximum.
+    """Reject prefixes more specific than the configured per-family maximum.
 
     Blackhole-tagged announcements get their own (longer) maximum, since
     RTBH typically must be a /24 or more specific, often a /32
-    (Section 7.3, "Additional constraints").
+    (Section 7.3, "Additional constraints").  The limits are per address
+    family: applying the IPv4 /24 cutoff to IPv6 would reject virtually
+    every legitimate IPv6 route (/32 allocations, /48 sites).
     """
 
     max_length: int = 24
     max_blackhole_length: int = 32
     min_blackhole_length: int = 24
+    max_length_v6: int = 48
+    max_blackhole_length_v6: int = 128
+    min_blackhole_length_v6: int = 48
+
+    def _limits(self, prefix: Prefix) -> tuple[int, int, int]:
+        """Return (max_length, max_blackhole_length, min_blackhole_length)."""
+        if prefix.is_ipv6:
+            return (self.max_length_v6, self.max_blackhole_length_v6, self.min_blackhole_length_v6)
+        return (self.max_length, self.max_blackhole_length, self.min_blackhole_length)
 
     def evaluate(self, prefix: Prefix, origin_asn: int, is_blackhole: bool) -> FilterDecision:
+        max_length, max_blackhole, min_blackhole = self._limits(prefix)
         if is_blackhole:
-            if prefix.length < self.min_blackhole_length:
+            if prefix.length < min_blackhole:
                 return FilterDecision(
                     False,
-                    f"blackhole prefix {prefix} shorter than /{self.min_blackhole_length}",
+                    f"blackhole prefix {prefix} shorter than /{min_blackhole}",
                 )
-            if prefix.length > self.max_blackhole_length:
+            if prefix.length > max_blackhole:
                 return FilterDecision(
                     False,
-                    f"blackhole prefix {prefix} longer than /{self.max_blackhole_length}",
+                    f"blackhole prefix {prefix} longer than /{max_blackhole}",
                 )
             return FilterDecision(True)
-        if prefix.length > self.max_length:
-            return FilterDecision(False, f"prefix {prefix} longer than /{self.max_length}")
+        if prefix.length > max_length:
+            return FilterDecision(False, f"prefix {prefix} longer than /{max_length}")
         return FilterDecision(True)
 
 

@@ -92,14 +92,19 @@ class AtlasPlatform:
     ) -> ProbeMeasurement:
         """Ping (and optionally traceroute) ``target`` from every vantage point."""
         measurement = ProbeMeasurement(target=target)
-        address = target.host(1)
+        address = target.host()
+        # Pass the target's family explicitly: low IPv6 addresses (::/96)
+        # would otherwise be inferred as IPv4 and miss their routes.
+        family = target.family
         for vantage_point in self.vantage_points:
             if vantage_point.asn not in dataplane.fibs:
                 continue
-            measurement.pings[vantage_point.probe_id] = dataplane.ping(vantage_point.asn, address)
+            measurement.pings[vantage_point.probe_id] = dataplane.ping(
+                vantage_point.asn, address, family
+            )
             if with_traceroute:
                 measurement.traceroutes[vantage_point.probe_id] = dataplane.traceroute(
-                    vantage_point.asn, address
+                    vantage_point.asn, address, family
                 )
         return measurement
 

@@ -8,8 +8,9 @@ simulated origins.
 
 from __future__ import annotations
 
-from repro.bgp.prefix import Prefix
+from repro.bgp.prefix import AddressFamily, Prefix
 from repro.collectors.observation import ObservationArchive
+from repro.net.lpm import LpmTable
 from repro.topology.topology import Topology
 
 
@@ -17,7 +18,10 @@ class Ip2AsMapper:
     """Longest-prefix-match mapping of addresses to origin ASes."""
 
     def __init__(self, table: dict[Prefix, int] | None = None):
-        self._table: dict[Prefix, int] = dict(table or {})
+        self._table: dict[Prefix, int] = {}
+        self._lpm = LpmTable()
+        for prefix, asn in (table or {}).items():
+            self.add(prefix, asn)
 
     @classmethod
     def from_topology(cls, topology: Topology) -> "Ip2AsMapper":
@@ -37,24 +41,27 @@ class Ip2AsMapper:
     def add(self, prefix: Prefix, asn: int) -> None:
         """Add one mapping entry."""
         self._table[prefix] = asn
+        self._lpm.insert(prefix, asn)
 
-    def lookup(self, address: int) -> int | None:
-        """Return the origin AS of the longest matching prefix (None if unmapped)."""
-        best_asn: int | None = None
-        best_length = -1
-        for prefix, asn in self._table.items():
-            if prefix.contains_address(address) and prefix.length > best_length:
-                best_asn, best_length = asn, prefix.length
-        return best_asn
+    def remove(self, prefix: Prefix) -> None:
+        """Drop one mapping entry if present."""
+        if self._table.pop(prefix, None) is not None:
+            self._lpm.delete(prefix)
+
+    def lookup(self, address: int, family: AddressFamily | None = None) -> int | None:
+        """Return the origin AS of the longest matching prefix (None if unmapped).
+
+        The match stays within one address family: an IPv4 address is
+        never resolved against an IPv6 prefix (or vice versa).
+        """
+        hit = self._lpm.longest_match(address, family)
+        return hit[1] if hit is not None else None
 
     def lookup_prefix(self, prefix: Prefix) -> int | None:
         """Return the origin AS of the longest prefix covering ``prefix``."""
-        best_asn: int | None = None
-        best_length = -1
-        for candidate, asn in self._table.items():
-            if candidate.contains_prefix(prefix) and candidate.length > best_length:
-                best_asn, best_length = asn, candidate.length
-        return best_asn
+        covering = self._lpm.covering(prefix)
+        # ``covering`` is ordered least specific first.
+        return covering[-1][1] if covering else None
 
     def __len__(self) -> int:
         return len(self._table)

@@ -28,12 +28,22 @@ class SimulationReport:
     announcements_processed: int = 0
     rounds: int = 0
     prefixes: set[Prefix] = field(default_factory=set)
+    #: Per-router prefixes whose best route changed during this run.  The
+    #: data plane uses this to patch only the affected FIB entries instead
+    #: of rebuilding every AS's FIB (see :meth:`DataPlane.rebuild`).
+    dirty: dict[int, set[Prefix]] = field(default_factory=dict)
+
+    def mark_dirty(self, asn: int, prefix: Prefix) -> None:
+        """Record that ``asn``'s best route for ``prefix`` (possibly) changed."""
+        self.dirty.setdefault(asn, set()).add(prefix)
 
     def merge(self, other: "SimulationReport") -> None:
         """Accumulate another report into this one."""
         self.announcements_processed += other.announcements_processed
         self.rounds += other.rounds
         self.prefixes |= other.prefixes
+        for asn, prefixes in other.dirty.items():
+            self.dirty.setdefault(asn, set()).update(prefixes)
 
 
 class BgpSimulator:
@@ -67,7 +77,7 @@ class BgpSimulator:
         router (it only records what it receives).
         """
         router = self.router(peer_asn)
-        router.neighbor_relationships.setdefault(collector_asn, Relationship.CUSTOMER)
+        router.add_neighbor(collector_asn, Relationship.CUSTOMER)
 
     # ------------------------------------------------------------ origination
     def announce(
@@ -98,6 +108,9 @@ class BgpSimulator:
         """Propagate export/import waves for one prefix until no best path changes."""
         report = SimulationReport()
         report.prefixes.add(prefix)
+        # The origination (or withdrawal) itself may have changed the
+        # starting router's best route; its FIB entry must be re-derived.
+        report.mark_dirty(start_asn, prefix)
         queue: deque[int] = deque([start_asn])
         rounds = 0
         while queue:
@@ -121,11 +134,13 @@ class BgpSimulator:
                     result = neighbor.process_announcement(decision.announcement)
                     report.announcements_processed += 1
                     if result.best_changed:
+                        report.mark_dirty(neighbor_asn, prefix)
                         queue.append(neighbor_asn)
                 elif had_route:
                     changed = neighbor.process_withdrawal(prefix, current_asn)
                     report.announcements_processed += 1
                     if changed:
+                        report.mark_dirty(neighbor_asn, prefix)
                         queue.append(neighbor_asn)
         report.rounds = rounds
         self.report.merge(report)
@@ -140,9 +155,9 @@ class BgpSimulator:
         """Return the best route of ``asn`` for exactly ``prefix``."""
         return self.router(asn).loc_rib.best(prefix)
 
-    def best_route_for_address(self, asn: int, address: int):
+    def best_route_for_address(self, asn: int, address: int, family=None):
         """Longest-prefix-match lookup at ``asn`` for an integer address."""
-        return self.router(asn).loc_rib.lookup(address)
+        return self.router(asn).loc_rib.lookup(address, family)
 
     def ases_with_route(self, prefix: Prefix) -> list[int]:
         """Return every AS holding a best route for exactly ``prefix``."""

@@ -102,6 +102,23 @@ class Router:
         """All neighbor ASNs."""
         return sorted(self.neighbor_relationships)
 
+    def add_neighbor(self, neighbor_asn: int, relationship: Relationship) -> None:
+        """Register a neighbor session added after construction.
+
+        Keeps ``adj_rib_in`` in sync so a later announcement from that
+        ASN (e.g. a route-collector peering) does not hit a missing RIB.
+        An existing relationship is preserved.
+        """
+        self.neighbor_relationships.setdefault(neighbor_asn, relationship)
+        self.adj_rib_in.setdefault(neighbor_asn, AdjRibIn(neighbor_asn))
+
+    def _rib_in(self, neighbor_asn: int) -> AdjRibIn:
+        """The Adj-RIB-In for ``neighbor_asn``, created lazily if missing."""
+        rib = self.adj_rib_in.get(neighbor_asn)
+        if rib is None:
+            rib = self.adj_rib_in[neighbor_asn] = AdjRibIn(neighbor_asn)
+        return rib
+
     def snapshot(self) -> RibSnapshot:
         """A looking-glass view of the current best routes."""
         return RibSnapshot.from_loc_rib(self.asn, self.loc_rib)
@@ -164,7 +181,7 @@ class Router:
                 rejected=True,
                 rejection_reason=decision.reason,
             )
-            self.adj_rib_in[sender].update(entry)
+            self._rib_in(sender).update(entry)
             changed = self._refresh_best(announcement.prefix)
             return ImportResult(False, entry=entry, reason=decision.reason, best_changed=changed)
 
@@ -176,7 +193,7 @@ class Router:
             prefix=announcement.prefix, attributes=attributes, learned_from=sender
         )
         entry, triggered = self._apply_community_services(entry)
-        self.adj_rib_in[sender].update(entry)
+        self._rib_in(sender).update(entry)
         changed = self._refresh_best(announcement.prefix)
         return ImportResult(True, entry=entry, triggered_services=triggered, best_changed=changed)
 
@@ -265,11 +282,11 @@ class Router:
             return False
         if previous is None or new_best is None:
             return True
-        return (
-            previous.attributes != new_best.attributes
-            or previous.learned_from != new_best.learned_from
-            or previous.blackholed != new_best.blackholed
-        )
+        # Compare the full entry (modulo the best flag): export-side fields
+        # like suppress_to, announce_only_to and export_prepend change what
+        # neighbors receive, so a re-announcement that only alters them must
+        # still report a change and re-trigger export processing.
+        return previous.replace(best=False) != new_best.replace(best=False)
 
     def refresh_all(self) -> list[Prefix]:
         """Recompute every prefix's best route; return prefixes whose best changed."""

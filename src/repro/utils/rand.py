@@ -29,13 +29,13 @@ class DeterministicRng:
 
     def child(self, label: str) -> "DeterministicRng":
         """Derive an independent, reproducible child stream for ``label``."""
-        derived = hash((self.seed, label)) & 0x7FFFFFFF
-        # ``hash`` of a str is salted per-process; mix label bytes explicitly
-        # so children are stable across interpreter invocations.
+        # ``hash`` of a str is salted per-process, so the child seed is mixed
+        # from the label bytes only: children must be stable across
+        # interpreter invocations for run-to-run reproducibility.
         mixed = self.seed
         for byte in label.encode("utf-8"):
             mixed = (mixed * 131 + byte) & 0x7FFFFFFFFFFF
-        return DeterministicRng(mixed ^ (derived & 0xFFFF))
+        return DeterministicRng(mixed)
 
     def randint(self, low: int, high: int) -> int:
         """Return a uniform integer in [low, high]."""

@@ -120,10 +120,11 @@ class BlackholeSweep:
         dataplane = DataPlane(simulator)
         before = self.atlas.measure(dataplane, self.experiment_prefix)
         # Step 3+4: tagged announcement, re-probe the same vantage points.
-        self.platform.announce(
+        # The report's dirty set confines the FIB refresh to changed routers.
+        report = self.platform.announce(
             simulator, self.experiment_prefix, communities=CommunitySet.of(community)
         )
-        dataplane.rebuild()
+        dataplane.rebuild(report)
         after = self.atlas.measure(dataplane, self.experiment_prefix, with_traceroute=True)
         lost, _gained = self.atlas.compare(before, after)
 
@@ -135,7 +136,9 @@ class BlackholeSweep:
             clean = BgpSimulator(self.topology)
             self.platform.announce(clean, self.experiment_prefix)
             baseline_plane = DataPlane(clean)
-            trace = baseline_plane.traceroute(probe_asn, self.experiment_prefix.host(1))
+            trace = baseline_plane.traceroute(
+                probe_asn, self.experiment_prefix.host(), self.experiment_prefix.family
+            )
             if target_asn in trace.path:
                 # Hops between the target and the injection point on that path.
                 target_hops = len(trace.path) - 1 - trace.path.index(target_asn)

@@ -122,10 +122,13 @@ class RtbhWildExperiment:
         dataplane = DataPlane(simulator)
         before = self.atlas.measure(dataplane, attack_prefix)
 
-        # Step 2: re-announce with the blackhole community attached.
+        # Step 2: re-announce with the blackhole community attached; patch
+        # only the FIB entries the re-announcement actually changed.
         communities = CommunitySet.of(community, BLACKHOLE)
-        self.platform.announce(simulator, attack_prefix, communities=communities, hijack=use_hijack)
-        dataplane.rebuild()
+        report = self.platform.announce(
+            simulator, attack_prefix, communities=communities, hijack=use_hijack
+        )
+        dataplane.rebuild(report)
         after = self.atlas.measure(dataplane, attack_prefix)
         lost, _gained = self.atlas.compare(before, after)
 

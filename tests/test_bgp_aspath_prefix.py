@@ -162,6 +162,22 @@ class TestPrefix:
         with pytest.raises(PrefixError):
             prefix.host(256)
 
+    def test_host_default_clamps_for_host_routes(self):
+        # /32 and /128 host routes have exactly one address: the default
+        # offset falls back to 0 instead of raising (RTBH announces /32s).
+        v4_host = Prefix.from_string("198.51.100.9/32")
+        assert v4_host.host() == v4_host.network
+        assert v4_host.host_text() == "198.51.100.9"
+        v6_host = Prefix.from_string("2001:db8::1/128")
+        assert v6_host.host() == v6_host.network
+        # An explicit out-of-range offset still raises.
+        with pytest.raises(PrefixError):
+            v4_host.host(1)
+        # Wider prefixes keep the representative-host default of 1.
+        assert Prefix.from_string("198.51.100.0/24").host() == Prefix.from_string(
+            "198.51.100.0/24"
+        ).network + 1
+
     def test_ordering_and_hashing(self):
         a = Prefix.from_string("10.0.0.0/8")
         b = Prefix.from_string("10.0.0.0/16")

@@ -111,3 +111,56 @@ class TestDataPlane:
         simulator.announce(1, PREFIX)
         plane.rebuild()
         assert plane.ping(6, PREFIX.host(1)).reachable
+
+
+class TestIncrementalRebuild:
+    """rebuild(report) must patch FIBs into exactly the full-rebuild state."""
+
+    @staticmethod
+    def _fib_state(plane: DataPlane) -> dict[int, dict[Prefix, FibEntry]]:
+        return {asn: {e.prefix: e for e in fib.entries()} for asn, fib in plane.fibs.items()}
+
+    def test_incremental_matches_full_over_rtbh_scenario(self):
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology)
+        victim_prefix = Prefix.from_string("203.0.113.0/24")
+        simulator.announce(1, victim_prefix)
+        plane = DataPlane(simulator)  # full build at construction
+
+        # The attacker announces a /32 blackhole route tagged with the
+        # community target's RTBH community (the paper's Section 7.3 move).
+        blackhole_prefix = Prefix.from_string("203.0.113.66/32")
+        report = simulator.announce(
+            2, blackhole_prefix, communities=CommunitySet.of(Community(3, 666), BLACKHOLE)
+        )
+        assert report.dirty  # the run recorded per-router dirty prefixes
+        plane.rebuild(report)
+        assert self._fib_state(plane) == self._fib_state(DataPlane(simulator))
+
+        # Withdrawing patches back to the pre-attack state.
+        report = simulator.withdraw(2, blackhole_prefix)
+        plane.rebuild(report)
+        assert self._fib_state(plane) == self._fib_state(DataPlane(simulator))
+
+    def test_incremental_rebuild_via_reannouncement(self):
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        simulator.announce(1, PREFIX)
+        plane = DataPlane(simulator)
+        # Re-announce with a prepend community: best paths shift downstream.
+        report = simulator.announce(1, PREFIX, communities=CommunitySet.of(Community(3, 33)))
+        plane.rebuild(report)
+        assert self._fib_state(plane) == self._fib_state(DataPlane(simulator))
+
+    def test_ping_prefix_works_on_host_routes(self):
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology)
+        blackhole_prefix = Prefix.from_string("203.0.113.66/32")
+        report = simulator.announce(
+            2, blackhole_prefix, communities=CommunitySet.of(Community(3, 666), BLACKHOLE)
+        )
+        plane = DataPlane(simulator)
+        # A /32 target must not crash the representative-host derivation.
+        result = plane.ping_prefix(4, blackhole_prefix)
+        assert result.outcome in (ForwardingOutcome.BLACKHOLED, ForwardingOutcome.NO_ROUTE)
+        assert not result.reachable

@@ -189,6 +189,18 @@ class TestFilters:
         assert flt.evaluate(Prefix.from_string("10.0.0.0/24"), 1, is_blackhole=True)
         assert not flt.evaluate(Prefix.from_string("10.0.0.0/20"), 1, is_blackhole=True)
 
+    def test_max_length_is_per_family(self):
+        # The IPv4 /24 cutoff must not reject ordinary IPv6 routes: a /32
+        # allocation or /48 site announcement is legitimate, a /64 is not.
+        flt = MaxPrefixLengthFilter()
+        assert flt.evaluate(Prefix.from_string("2001:db8::/32"), 1, is_blackhole=False)
+        assert flt.evaluate(Prefix.from_string("2001:db8:1::/48"), 1, is_blackhole=False)
+        assert not flt.evaluate(Prefix.from_string("2001:db8::/64"), 1, is_blackhole=False)
+        # IPv6 blackhole window: /48 up to /128 host routes.
+        assert flt.evaluate(Prefix.from_string("2001:db8::1/128"), 1, is_blackhole=True)
+        assert flt.evaluate(Prefix.from_string("2001:db8:1::/48"), 1, is_blackhole=True)
+        assert not flt.evaluate(Prefix.from_string("2001:db8::/32"), 1, is_blackhole=True)
+
     def test_irr_validation(self):
         irr = IrrDatabase()
         prefix = Prefix.from_string("203.0.113.0/24")

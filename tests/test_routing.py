@@ -11,6 +11,8 @@ from repro.bgp.prefix import Prefix
 from repro.bgp.route import Announcement, RouteEntry
 from repro.exceptions import RoutingError
 from repro.policy.community_policy import ForwardAllPolicy, StripAllPolicy
+from repro.policy.services import CommunityServiceCatalog, ServiceDefinition
+from repro.policy.actions import SuppressAction
 from repro.routing.decision import best_path, compare_routes, rank_routes
 from repro.routing.engine import BgpSimulator
 from repro.routing.route_server import RouteServer
@@ -291,6 +293,105 @@ class TestSimulator:
         assert Community(1, 200) in at_2.attributes.communities
         at_3 = simulator.best_route(3, prefix)
         assert Community(1, 200) not in at_3.attributes.communities
+
+
+class TestCollectorSessions:
+    def test_collector_session_announcement_does_not_keyerror(self):
+        # Registering a collector peering must create the matching
+        # Adj-RIB-In: an announcement arriving over that session used to
+        # raise KeyError at adj_rib_in[sender].
+        topology = build_figure2_topology()
+        simulator = BgpSimulator(topology)
+        simulator.register_collector_peering(4, 65100)
+        router = simulator.router(4)
+        announcement = Announcement(
+            prefix=Prefix.from_string("203.0.113.0/24"),
+            attributes=PathAttributes(as_path=ASPath.of(65100)),
+            sender_asn=65100,
+            origin_asn=65100,
+        )
+        result = router.process_announcement(announcement)
+        assert result.accepted
+        assert 65100 in router.adj_rib_in
+
+    def test_adj_rib_in_is_created_lazily_for_late_neighbors(self):
+        # A neighbor relationship added directly (bypassing add_neighbor)
+        # still gets its RIB on first announcement.
+        router = two_as_router()
+        router.neighbor_relationships[99] = Relationship.CUSTOMER
+        announcement = Announcement(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(99)),
+            sender_asn=99,
+            origin_asn=99,
+        )
+        result = router.process_announcement(announcement)
+        assert result.accepted
+        assert 99 in router.adj_rib_in
+
+
+def suppress_topology() -> Topology:
+    """AS1 (customer) — AS2 (offers 2:50 = suppress to AS3) — AS3 (customer)."""
+    catalog = CommunityServiceCatalog(
+        2,
+        [
+            ServiceDefinition(
+                Community(2, 50),
+                SuppressAction(neighbor_asns=frozenset({3})),
+                "do not announce to AS3",
+                customers_only=True,
+            )
+        ],
+    )
+    topology = Topology()
+    topology.add_as(AutonomousSystem(asn=1, propagation_policy=ForwardAllPolicy()))
+    topology.add_as(
+        AutonomousSystem(asn=2, propagation_policy=ForwardAllPolicy(), services=catalog)
+    )
+    topology.add_as(AutonomousSystem(asn=3, propagation_policy=ForwardAllPolicy()))
+    topology.add_customer_link(2, 1)
+    topology.add_customer_link(2, 3)
+    topology.get_as(1).add_prefix(PREFIX)
+    return topology
+
+
+class TestExportRestrictionChanges:
+    def test_refresh_best_detects_export_only_changes(self):
+        # Entries that differ only in export-side fields (suppress_to,
+        # announce_only_to, export_prepend) must count as a best-route
+        # change, or neighbors keep stale routes.
+        router = two_as_router()
+        base = RouteEntry(
+            prefix=PREFIX,
+            attributes=PathAttributes(as_path=ASPath.of(20, 5)),
+            learned_from=20,
+        )
+        router.adj_rib_in[20].update(base)
+        assert router._refresh_best(PREFIX)
+        router.adj_rib_in[20].update(base.replace(suppress_to=frozenset({30})))
+        assert router._refresh_best(PREFIX)
+        # An identical re-announcement stays quiet (no spurious churn).
+        router.adj_rib_in[20].update(base.replace(suppress_to=frozenset({30})))
+        assert not router._refresh_best(PREFIX)
+        router.adj_rib_in[20].update(base.replace(export_prepend=2))
+        assert router._refresh_best(PREFIX)
+        router.adj_rib_in[20].update(base.replace(announce_only_to=frozenset({30})))
+        assert router._refresh_best(PREFIX)
+
+    def test_suppress_community_toggles_downstream_route(self):
+        # Re-announcements that flip an export restriction must propagate:
+        # AS3 loses the route when 2:50 is attached and regains it when
+        # the tag is removed.
+        simulator = BgpSimulator(suppress_topology())
+        simulator.announce(1, PREFIX)
+        assert simulator.best_route(3, PREFIX) is not None
+
+        report = simulator.announce(1, PREFIX, communities=CommunitySet.of("2:50"))
+        assert simulator.best_route(3, PREFIX) is None
+        assert 3 in report.dirty  # the withdrawal dirtied AS3's FIB state
+
+        simulator.announce(1, PREFIX)
+        assert simulator.best_route(3, PREFIX) is not None
 
 
 class TestRouteServer:
