@@ -17,6 +17,7 @@ from repro.datasets.synthetic import DatasetParameters, build_default_dataset
 from repro.measurement.report import MeasurementReport
 from repro.measurement.propagation import transit_forwarders
 from repro.measurement.usage import overall_update_community_fraction
+from repro.routing.engine import BgpSimulator
 from repro.topology.generator import TopologyGenerator, TopologyParameters
 
 
@@ -43,6 +44,19 @@ def main() -> None:
     print(
         f"transit ASes relaying foreign communities: {forwarders.forwarder_count} of "
         f"{forwarders.transit_count} ({forwarders.forwarder_fraction:.1%})"
+    )
+
+    # 5. Batched propagation: seed the control plane with every origination
+    #    the topology records, driven to convergence in ONE shared worklist
+    #    pass (simulator.announce(...) in a loop would re-walk the graph once
+    #    per prefix; announce_many/apply dedupe the work across prefixes).
+    simulator = BgpSimulator(topology)
+    report = simulator.announce_originated()
+    print()
+    print(
+        f"batched announcement: {len(report.prefixes):,} prefixes converged in one pass"
+        f" ({report.announcements_processed:,} announcements,"
+        f" {report.rounds:,} worklist steps)"
     )
 
 

@@ -8,6 +8,7 @@ from repro.attacks.scenario import (
     build_figure8b_topology,
     build_figure9_ixp,
 )
+from repro.routing.engine import origination_events
 from repro.attacks.conditions import (
     ConditionReport,
     check_necessary_condition,
@@ -30,6 +31,7 @@ __all__ = [
     "build_figure7_topology",
     "build_figure8b_topology",
     "build_figure9_ixp",
+    "origination_events",
     "ConditionReport",
     "check_necessary_condition",
     "check_sufficient_condition",

@@ -133,13 +133,16 @@ def build_feasibility_matrix() -> FeasibilityMatrix:
         )
 
     # --------------------------------------------- traffic steering: local pref
+    # The attack itself is hijack-agnostic (the community is attached on the
+    # attacker's own session either way), so it runs once and only the gate
+    # list differs between the two Table 3 rows.
+    topology = build_figure8b_topology()
+    roles = ScenarioRoles(attacker_asn=2, attackee_asn=5, community_target_asn=1)
+    attack = LocalPrefSteeringAttack(
+        topology, roles, victim_prefix=Prefix.from_string("198.18.0.0/24")
+    )
+    result = attack.run()
     for hijack in (False, True):
-        topology = build_figure8b_topology()
-        roles = ScenarioRoles(attacker_asn=2, attackee_asn=5, community_target_asn=1)
-        attack = LocalPrefSteeringAttack(
-            topology, roles, victim_prefix=Prefix.from_string("198.18.0.0/24")
-        )
-        result = attack.run()
         gates = ["business_relationship"]
         if hijack:
             gates.append("irr_validation")
@@ -179,17 +182,19 @@ def build_feasibility_matrix() -> FeasibilityMatrix:
         )
 
     # -------------------------------------------------------- route manipulation
+    # Hijack-agnostic at the route server as well (the attacker injects the
+    # conflicting communities in both variants): one run, two rows.
+    topology, ixp = build_figure9_ixp()
+    roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=ixp.route_server_asn)
+    attack = RouteManipulationAttack(
+        topology,
+        ixp,
+        roles,
+        victim_prefix=Prefix.from_string("203.0.113.0/24"),
+        victim_member_asn=4,
+    )
+    result = attack.run()
     for hijack in (False, True):
-        topology, ixp = build_figure9_ixp()
-        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=ixp.route_server_asn)
-        attack = RouteManipulationAttack(
-            topology,
-            ixp,
-            roles,
-            victim_prefix=Prefix.from_string("203.0.113.0/24"),
-            victim_member_asn=4,
-        )
-        result = attack.run()
         gates = ["evaluation_order"]
         if hijack:
             gates.append("irr_validation")

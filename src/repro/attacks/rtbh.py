@@ -101,9 +101,14 @@ class RtbhAttack:
         attacked = BgpSimulator(self.topology)
         communities = CommunitySet.of(self.blackhole_community, BLACKHOLE)
         if self.use_hijack:
+            # Victim announcement and hijack converge in one batched pass.
             attack_prefix = self._attack_prefix()
-            attacked.announce(roles.attackee_asn, self.victim_prefix)
-            attacked.announce(roles.attacker_asn, attack_prefix, communities=communities)
+            attacked.announce_many(
+                [
+                    (roles.attackee_asn, self.victim_prefix),
+                    (roles.attacker_asn, attack_prefix, communities),
+                ]
+            )
         else:
             # The attacker is on the path and adds the community when passing
             # the victim's route on to every neighbor.

@@ -78,8 +78,13 @@ class PrependSteeringAttack:
         attacked = BgpSimulator(self.topology)
         communities = CommunitySet.of(self.prepend_community)
         if self.use_hijack:
-            attacked.announce(roles.attackee_asn, self.victim_prefix)
-            attacked.announce(roles.attacker_asn, self.victim_prefix, communities=communities)
+            # Victim announcement and tagged hijack converge in one batched pass.
+            attacked.announce_many(
+                [
+                    (roles.attackee_asn, self.victim_prefix),
+                    (roles.attacker_asn, self.victim_prefix, communities),
+                ]
+            )
         else:
             # The on-path attacker adds the community on every session when
             # forwarding the attackee's route.

@@ -49,10 +49,11 @@ class ASPath:
     convention the paper uses ("AS path AS5 AS4 AS3 AS2 AS1").
     """
 
-    __slots__ = ("_segments",)
+    __slots__ = ("_segments", "_hash")
 
     def __init__(self, segments: Iterable[ASPathSegment] = ()):
         self._segments = tuple(segments)
+        self._hash: int | None = None
         for segment in self._segments:
             if not isinstance(segment, ASPathSegment):
                 raise ASPathError(f"expected ASPathSegment, got {type(segment).__name__}")
@@ -183,7 +184,11 @@ class ASPath:
         return self._segments == other._segments
 
     def __hash__(self) -> int:
-        return hash(self._segments)
+        # Paths key the export memoisation of the batch engine; the
+        # (immutable) hash is computed once.
+        if self._hash is None:
+            self._hash = hash(self._segments)
+        return self._hash
 
     def __str__(self) -> str:
         parts: list[str] = []

@@ -9,7 +9,7 @@ immutable; the policy engine produces modified copies via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace as dataclass_replace
+from dataclasses import dataclass, field, fields
 from enum import IntEnum
 from typing import Iterable
 
@@ -75,9 +75,47 @@ class PathAttributes:
                 f"of {MAX_COMMUNITIES_PER_UPDATE}"
             )
 
+    def __hash__(self) -> int:
+        # Attribute bundles key the batch engine's export memoisation;
+        # the hash spans every field and is computed once per bundle.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.as_path,
+                    self.origin,
+                    self.next_hop,
+                    self.med,
+                    self.local_pref,
+                    self.communities,
+                    self.large_communities,
+                    self.atomic_aggregate,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def replace(self, **changes) -> "PathAttributes":
-        """Return a copy with the given fields replaced."""
-        return dataclass_replace(self, **changes)
+        """Return a copy with the given fields replaced.
+
+        Hand-rolled rather than :func:`dataclasses.replace`: every
+        import strip and export rewrite copies the bundle, and the
+        generic helper's field introspection dominates the copy.
+        """
+        for name in changes:
+            if name not in _ATTRIBUTE_FIELDS:
+                raise TypeError(f"PathAttributes.replace() got an unexpected field {name!r}")
+        get = changes.get
+        return PathAttributes(
+            as_path=get("as_path", self.as_path),
+            origin=get("origin", self.origin),
+            next_hop=get("next_hop", self.next_hop),
+            med=get("med", self.med),
+            local_pref=get("local_pref", self.local_pref),
+            communities=get("communities", self.communities),
+            large_communities=get("large_communities", self.large_communities),
+            atomic_aggregate=get("atomic_aggregate", self.atomic_aggregate),
+        )
 
     def effective_local_pref(self) -> int:
         """Return LOCAL_PREF, substituting the conventional default of 100."""
@@ -106,3 +144,9 @@ class PathAttributes:
     def path_length(self) -> int:
         """AS_PATH length used by the decision process."""
         return self.as_path.length()
+
+
+#: Field names :meth:`PathAttributes.replace` accepts, derived from the
+#: dataclass so the hand-rolled copy keeps dataclasses.replace's
+#: unknown-field TypeError contract.
+_ATTRIBUTE_FIELDS = frozenset(f.name for f in fields(PathAttributes))

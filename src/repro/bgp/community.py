@@ -45,6 +45,13 @@ class WellKnownCommunity(IntEnum):
     NO_PEER = 0xFFFFFF04
 
 
+#: Raw 32-bit values of the well-known communities, hoisted to module
+#: level: classification runs on every export decision and every
+#: observation, so the set must not be rebuilt per call.
+WELL_KNOWN_RAW_VALUES = frozenset(int(c) for c in WellKnownCommunity)
+_BLACKHOLE_RAW = int(WellKnownCommunity.BLACKHOLE)
+
+
 def is_private_asn(asn: int) -> bool:
     """Return True if ``asn`` falls in the 16-bit private-use range (RFC 6996)."""
     return PRIVATE_ASN_16_START <= asn <= PRIVATE_ASN_16_END
@@ -89,12 +96,12 @@ class Community:
     @property
     def is_well_known(self) -> bool:
         """True if the community is one of the IETF well-known values."""
-        return self.to_int() in set(int(c) for c in WellKnownCommunity)
+        return self.to_int() in WELL_KNOWN_RAW_VALUES
 
     @property
     def is_blackhole(self) -> bool:
         """True for the standardized RFC 7999 blackhole community (65535:666)."""
-        return self.to_int() == int(WellKnownCommunity.BLACKHOLE)
+        return self.to_int() == _BLACKHOLE_RAW
 
     @property
     def has_blackhole_value(self) -> bool:

@@ -44,6 +44,12 @@ class Prefix:
         normalised = ip_utils.network_address(self.network, self.length, bits)
         if normalised != self.network:
             object.__setattr__(self, "network", normalised)
+        # Prefixes key every RIB, FIB and propagation-worklist container,
+        # so the (immutable) hash is computed once instead of per lookup.
+        object.__setattr__(self, "_hash", hash((self.family, self.network, self.length)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def from_string(cls, text: str) -> "Prefix":

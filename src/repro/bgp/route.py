@@ -9,7 +9,7 @@ neighbor it was learned from.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace as dataclass_replace
+from dataclasses import dataclass, field, fields, replace as dataclass_replace
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.community import CommunitySet
@@ -111,8 +111,49 @@ class RouteEntry:
         return self.attributes.communities
 
     def replace(self, **changes) -> "RouteEntry":
-        """Return a copy with fields replaced."""
-        return dataclass_replace(self, **changes)
+        """Return a copy with fields replaced.
+
+        Hand-rolled rather than :func:`dataclasses.replace`: route
+        copies happen once per import/export on the propagation hot
+        path, and the generic helper's field introspection dominates
+        the cost of the copy itself.
+        """
+        for name in changes:
+            if name not in _ROUTE_ENTRY_FIELDS:
+                raise TypeError(f"RouteEntry.replace() got an unexpected field {name!r}")
+        get = changes.get
+        return RouteEntry(
+            prefix=get("prefix", self.prefix),
+            attributes=get("attributes", self.attributes),
+            learned_from=get("learned_from", self.learned_from),
+            best=get("best", self.best),
+            blackholed=get("blackholed", self.blackholed),
+            rejected=get("rejected", self.rejected),
+            rejection_reason=get("rejection_reason", self.rejection_reason),
+            export_prepend=get("export_prepend", self.export_prepend),
+            suppress_to=get("suppress_to", self.suppress_to),
+            announce_only_to=get("announce_only_to", self.announce_only_to),
+        )
+
+    def same_route(self, other: "RouteEntry") -> bool:
+        """Field equality ignoring the ``best`` flag, without allocating copies.
+
+        This is the comparison best-path refresh runs after every import:
+        export-side fields (``suppress_to``, ``announce_only_to``,
+        ``export_prepend``) count, because a re-announcement that only
+        alters them still changes what neighbors receive.
+        """
+        return (
+            self.learned_from == other.learned_from
+            and self.blackholed == other.blackholed
+            and self.rejected == other.rejected
+            and self.export_prepend == other.export_prepend
+            and self.rejection_reason == other.rejection_reason
+            and self.suppress_to == other.suppress_to
+            and self.announce_only_to == other.announce_only_to
+            and self.prefix == other.prefix
+            and self.attributes == other.attributes
+        )
 
     def __str__(self) -> str:
         flags = []
@@ -127,3 +168,9 @@ class RouteEntry:
             f"{self.prefix} from AS{self.learned_from} path [{self.attributes.as_path}]"
             f"{flag_text}"
         )
+
+
+#: Field names :meth:`RouteEntry.replace` accepts, derived from the
+#: dataclass so the hand-rolled copy keeps dataclasses.replace's
+#: unknown-field TypeError contract.
+_ROUTE_ENTRY_FIELDS = frozenset(f.name for f in fields(RouteEntry))

@@ -2,7 +2,12 @@
 
 from repro.routing.decision import best_path, compare_routes
 from repro.routing.router import Router, ImportResult
-from repro.routing.engine import BgpSimulator, SimulationReport
+from repro.routing.engine import (
+    BgpSimulator,
+    RoutingEvent,
+    SimulationReport,
+    origination_events,
+)
 from repro.routing.route_server import RouteServer, RouteServerDecision
 
 __all__ = [
@@ -11,7 +16,9 @@ __all__ = [
     "Router",
     "ImportResult",
     "BgpSimulator",
+    "RoutingEvent",
     "SimulationReport",
+    "origination_events",
     "RouteServer",
     "RouteServerDecision",
 ]

@@ -1,24 +1,111 @@
 """The propagation engine: drive announcements through the AS graph to convergence.
 
 The simulator is synchronous and deterministic: announcements are
-processed in waves (per-prefix BFS order is implied by the queue), and a
-wave only re-exports routes whose best path actually changed, so the
-process terminates once the network is stable.  Determinism matters
-because every benchmark compares concrete numbers run-to-run.
+processed in waves (per-(router, prefix) worklist order is implied by
+the queue), and a step only re-exports a prefix whose best path
+actually changed at that router, so the process terminates once the
+network is stable.  Determinism matters because every benchmark
+compares concrete numbers run-to-run.
+
+Batch semantics (``apply``)
+---------------------------
+
+:meth:`BgpSimulator.apply` is the core entry point.  It takes an
+iterable of :class:`RoutingEvent` origination changes (announce or
+withdraw, any mix of prefixes and origins), applies **all** of them to
+the origin routers first, and then drives a **single shared worklist**
+keyed on ``(router_asn, prefix)`` to convergence:
+
+* every seeded or re-enqueued pair is deduplicated, and best-path
+  refresh is *deferred* to the pop: a router that received several
+  updates for one prefix while queued integrates them all, re-selects
+  once, and re-exports once — with its latest best;
+* a popped pair only exports onward when the refresh actually changed
+  its best route (or it seeds an origination), so stable regions of
+  the graph are never re-walked and transient bests that were
+  overtaken in the queue are never exported;
+* exports share a batch-scoped memo: the outbound-attribute rewrite
+  depends on the best route minus its prefix, so announcing K prefixes
+  with identical attributes pays the policy/prepend/rewrite cost once
+  per (router, neighbor) instead of K times;
+* the returned :class:`SimulationReport` merges every event: its
+  ``dirty`` map records each (router, prefix) whose best route changed,
+  which :meth:`~repro.dataplane.forwarding.DataPlane.rebuild` uses to
+  patch only the affected FIB entries in one pass.
+
+``announce``/``withdraw`` are thin single-event wrappers over
+``apply``; ``announce_many``/``withdraw_many`` batch homogeneous event
+lists; ``announce_originated`` seeds the simulation with every prefix
+the topology records as owned — the pattern the RTBH sweeps, steering
+experiments and dataset generators use to pre-load thousands of
+originations without N independent BFS runs.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
-from repro.bgp.route import Announcement
 from repro.exceptions import ConvergenceError, RoutingError
 from repro.routing.router import Router
 from repro.topology.relationships import Relationship
 from repro.topology.topology import Topology
+
+
+@dataclass(frozen=True)
+class RoutingEvent:
+    """One origination change: announce (default) or withdraw a prefix at an AS.
+
+    Events are plain values so call sites can build thousands of them
+    up front and hand the whole batch to :meth:`BgpSimulator.apply`.
+    """
+
+    origin_asn: int
+    prefix: Prefix
+    withdraw: bool = False
+    communities: CommunitySet | None = None
+    #: Lets an attacker claim a different origin (a hijack with a
+    #: fabricated origin, including AS0); by default the announcing AS
+    #: is the origin.
+    spoofed_origin_asn: int | None = None
+
+    @classmethod
+    def announcement(
+        cls,
+        origin_asn: int,
+        prefix: Prefix,
+        communities: CommunitySet | None = None,
+        spoofed_origin_asn: int | None = None,
+    ) -> "RoutingEvent":
+        """Build an announce event."""
+        return cls(
+            origin_asn=origin_asn,
+            prefix=prefix,
+            communities=communities,
+            spoofed_origin_asn=spoofed_origin_asn,
+        )
+
+    @classmethod
+    def withdrawal(cls, origin_asn: int, prefix: Prefix) -> "RoutingEvent":
+        """Build a withdraw event."""
+        return cls(origin_asn=origin_asn, prefix=prefix, withdraw=True)
+
+
+def origination_events(topology: Topology) -> list[RoutingEvent]:
+    """Announce events for every prefix ``topology`` records as owned.
+
+    Handing the list to :meth:`BgpSimulator.apply` (or
+    ``announce_many``) pre-seeds a simulation with all of its
+    originations in one batched convergence pass; the order is fixed
+    (by owner ASN, then prefix) so runs are reproducible.
+    """
+    originations = sorted(
+        topology.originated_prefixes().items(), key=lambda item: (item[1], item[0])
+    )
+    return [RoutingEvent(origin_asn=asn, prefix=prefix) for prefix, asn in originations]
 
 
 @dataclass
@@ -93,62 +180,182 @@ class BgpSimulator:
         (a hijack with a fabricated origin); by default the announcing AS
         is the origin.
         """
-        router = self.router(origin_asn)
-        router.originate(prefix, communities=communities, origin_asn=spoofed_origin_asn)
-        return self._propagate_from(origin_asn, prefix)
+        return self.apply(
+            [
+                RoutingEvent(
+                    origin_asn=origin_asn,
+                    prefix=prefix,
+                    communities=communities,
+                    spoofed_origin_asn=spoofed_origin_asn,
+                )
+            ]
+        )
 
     def withdraw(self, origin_asn: int, prefix: Prefix) -> SimulationReport:
         """Withdraw an origination and re-propagate."""
-        router = self.router(origin_asn)
-        router.withdraw_origination(prefix)
-        return self._propagate_withdrawal(origin_asn, prefix)
+        return self.apply([RoutingEvent.withdrawal(origin_asn, prefix)])
+
+    def announce_many(self, announcements: Iterable) -> SimulationReport:
+        """Originate many prefixes and drive them all to convergence in one pass.
+
+        Each item is a :class:`RoutingEvent`, an ``(origin_asn, prefix)``
+        pair, or an ``(origin_asn, prefix, communities)`` triple.
+        """
+        return self.apply(self._coerce(a) for a in announcements)
+
+    def withdraw_many(self, withdrawals: Iterable[tuple[int, Prefix]]) -> SimulationReport:
+        """Withdraw many ``(origin_asn, prefix)`` originations in one pass."""
+        return self.apply(
+            RoutingEvent.withdrawal(origin_asn, prefix) for origin_asn, prefix in withdrawals
+        )
+
+    def announce_originated(self) -> SimulationReport:
+        """Batch-announce every prefix the topology records as owned.
+
+        This is how experiment drivers pre-seed a generated Internet with
+        its full set of originations (thousands of prefixes) in a single
+        shared convergence pass.
+        """
+        return self.apply(origination_events(self.topology))
+
+    @staticmethod
+    def _coerce(item) -> RoutingEvent:
+        """Normalise an ``announce_many`` item into a :class:`RoutingEvent`."""
+        if isinstance(item, RoutingEvent):
+            return item
+        if isinstance(item, tuple) and len(item) == 2:
+            return RoutingEvent(origin_asn=item[0], prefix=item[1])
+        if isinstance(item, tuple) and len(item) == 3:
+            return RoutingEvent(origin_asn=item[0], prefix=item[1], communities=item[2])
+        raise RoutingError(
+            f"cannot interpret {item!r} as a routing event: expected RoutingEvent, "
+            "(origin_asn, prefix) or (origin_asn, prefix, communities)"
+        )
 
     # -------------------------------------------------------------- propagation
-    def _propagate_from(self, start_asn: int, prefix: Prefix) -> SimulationReport:
-        """Propagate export/import waves for one prefix until no best path changes."""
+    def apply(self, events: Iterable[RoutingEvent]) -> SimulationReport:
+        """Apply a batch of origination events and converge them in one pass.
+
+        All originations/withdrawals touch their origin routers first;
+        the affected ``(router, prefix)`` pairs then seed one shared,
+        deduplicated worklist (see the module docstring for the exact
+        semantics).  Returns the merged report of the whole batch.
+
+        The batch is validated up front — a malformed event or unknown
+        origin ASN raises before any router state changes, so a failing
+        ``apply`` leaves the simulation untouched.
+        """
+        events = list(events)
+        for event in events:
+            self.router(event.origin_asn)
         report = SimulationReport()
-        report.prefixes.add(prefix)
-        # The origination (or withdrawal) itself may have changed the
-        # starting router's best route; its FIB entry must be re-derived.
-        report.mark_dirty(start_asn, prefix)
-        queue: deque[int] = deque([start_asn])
-        rounds = 0
-        while queue:
-            rounds += 1
-            if rounds > self.max_rounds * max(1, len(self.routers)):
-                raise ConvergenceError(
-                    f"prefix {prefix} did not converge after {rounds} processing steps"
+        # Seed origins grouped per prefix, in first-seen prefix order.
+        # All events are applied to their origin routers *before* any
+        # propagation, so a batch is a net state change (an announce
+        # followed by a withdraw of the same prefix cancels out).
+        seeds: dict[Prefix, list[int]] = {}
+        for event in events:
+            router = self.router(event.origin_asn)
+            if event.withdraw:
+                router.withdraw_origination(event.prefix)
+            else:
+                router.originate(
+                    event.prefix,
+                    communities=event.communities,
+                    origin_asn=event.spoofed_origin_asn,
                 )
-            current_asn = queue.popleft()
-            current = self.routers.get(current_asn)
-            if current is None:
-                continue
-            for neighbor_asn in current.neighbors():
-                neighbor = self.routers.get(neighbor_asn)
-                if neighbor is None:
-                    continue
-                decision = current.export_to(neighbor_asn, prefix)
-                previous = neighbor.adj_rib_in.get(current_asn)
-                had_route = previous is not None and previous.get(prefix) is not None
-                if decision.export and decision.announcement is not None:
-                    result = neighbor.process_announcement(decision.announcement)
-                    report.announcements_processed += 1
-                    if result.best_changed:
-                        report.mark_dirty(neighbor_asn, prefix)
-                        queue.append(neighbor_asn)
-                elif had_route:
-                    changed = neighbor.process_withdrawal(prefix, current_asn)
-                    report.announcements_processed += 1
-                    if changed:
-                        report.mark_dirty(neighbor_asn, prefix)
-                        queue.append(neighbor_asn)
-        report.rounds = rounds
+            report.prefixes.add(event.prefix)
+            # The origination (or withdrawal) itself may have changed the
+            # origin router's best route; its FIB entry must be re-derived.
+            report.mark_dirty(event.origin_asn, event.prefix)
+            origins = seeds.setdefault(event.prefix, [])
+            if event.origin_asn not in origins:
+                origins.append(event.origin_asn)
+        # Worklist keys are (router, prefix) pairs and a pair can only
+        # ever enqueue pairs of the *same* prefix, so the shared list
+        # partitions exactly by prefix.  Draining it prefix-major is
+        # observationally identical to one interleaved FIFO (same
+        # imports in the same per-prefix order, same report) but keeps
+        # each prefix's working set hot instead of cycling through
+        # every prefix's RIB entries breadth-first.
+        # Batch-scoped export memo: outbound attributes depend on the best
+        # route minus its prefix, so prefixes sharing attributes pay the
+        # export rewrite once (see :meth:`Router.export_to`).
+        export_cache: dict = {}
+        for prefix, origins in seeds.items():
+            self._drive_prefix(report, prefix, origins, export_cache)
         self.report.merge(report)
         return report
 
-    def _propagate_withdrawal(self, start_asn: int, prefix: Prefix) -> SimulationReport:
-        """Propagate the removal of a route."""
-        return self._propagate_from(start_asn, prefix)
+    def _drive_prefix(
+        self,
+        report: SimulationReport,
+        prefix: Prefix,
+        origins: list[int],
+        export_cache: dict | None = None,
+    ) -> None:
+        """Converge one prefix's worklist partition (seeded at ``origins``).
+
+        Imports are deferred: an export writes the receiver's Adj-RIB-In
+        and enqueues the receiver, and the receiver runs best-path
+        selection once when popped — integrating every update that
+        arrived in the meantime — instead of once per incoming update.
+        Only a router whose best actually changed (or a seeded origin)
+        exports onward, so transient bests that are overtaken while
+        still queued are never exported at all.
+        """
+        routers = self.routers
+        queue: deque[int] = deque()
+        queued: set[int] = set()
+        force: set[int] = set(origins)
+        for asn in origins:
+            if asn not in queued:
+                queued.add(asn)
+                queue.append(asn)
+        needs_refresh: set[int] = set()
+        steps = 0
+        budget = self.max_rounds * max(1, len(routers))
+        while queue:
+            steps += 1
+            if steps > budget:
+                raise ConvergenceError(
+                    f"prefix {prefix} did not converge after {steps} processing steps"
+                )
+            current_asn = queue.popleft()
+            queued.discard(current_asn)
+            current = routers.get(current_asn)
+            if current is None:
+                continue
+            changed = False
+            if current_asn in needs_refresh:
+                needs_refresh.discard(current_asn)
+                changed = current.refresh_best(prefix)
+                if changed:
+                    report.mark_dirty(current_asn, prefix)
+            if current_asn in force:
+                force.discard(current_asn)
+                changed = True
+            if not changed:
+                continue
+            for neighbor_asn in current.neighbors():
+                neighbor = routers.get(neighbor_asn)
+                if neighbor is None:
+                    continue
+                decision = current.export_to(neighbor_asn, prefix, export_cache)
+                touched = False
+                if decision.export and decision.announcement is not None:
+                    neighbor.import_announcement(decision.announcement)
+                    report.announcements_processed += 1
+                    touched = True
+                elif neighbor.remove_announcement(prefix, current_asn):
+                    report.announcements_processed += 1
+                    touched = True
+                if touched:
+                    needs_refresh.add(neighbor_asn)
+                    if neighbor_asn not in queued:
+                        queued.add(neighbor_asn)
+                        queue.append(neighbor_asn)
+        report.rounds += steps
 
     # ------------------------------------------------------------- inspection
     def best_route(self, asn: int, prefix: Prefix):

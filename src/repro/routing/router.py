@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bgp.attributes import PathAttributes
-from repro.bgp.community import NO_ADVERTISE, NO_EXPORT, CommunitySet
+from repro.bgp.community import NO_ADVERTISE, NO_EXPORT, NO_PEER, CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.bgp.rib import AdjRibIn, LocRib, RibSnapshot
 from repro.bgp.route import Announcement, RouteEntry
@@ -85,6 +85,8 @@ class Router:
         self.adj_rib_in: dict[int, AdjRibIn] = {
             asn: AdjRibIn(asn) for asn in self.neighbor_relationships
         }
+        #: Sorted neighbor list, rebuilt lazily when sessions are added.
+        self._neighbor_order: list[int] | None = None
         self.loc_rib = LocRib()
         #: Prefixes this router originates, with the attributes it uses.
         self.originated: dict[Prefix, PathAttributes] = {}
@@ -99,8 +101,15 @@ class Router:
         return self.neighbor_relationships.get(neighbor_asn)
 
     def neighbors(self) -> list[int]:
-        """All neighbor ASNs."""
-        return sorted(self.neighbor_relationships)
+        """All neighbor ASNs, sorted.
+
+        The sorted order is cached (the propagation worklist asks on
+        every export step); callers must treat the list as read-only
+        and add sessions via :meth:`add_neighbor`, which invalidates it.
+        """
+        if self._neighbor_order is None:
+            self._neighbor_order = sorted(self.neighbor_relationships)
+        return self._neighbor_order
 
     def add_neighbor(self, neighbor_asn: int, relationship: Relationship) -> None:
         """Register a neighbor session added after construction.
@@ -111,6 +120,7 @@ class Router:
         """
         self.neighbor_relationships.setdefault(neighbor_asn, relationship)
         self.adj_rib_in.setdefault(neighbor_asn, AdjRibIn(neighbor_asn))
+        self._neighbor_order = None
 
     def _rib_in(self, neighbor_asn: int) -> AdjRibIn:
         """The Adj-RIB-In for ``neighbor_asn``, created lazily if missing."""
@@ -158,16 +168,36 @@ class Router:
         self._refresh_best(prefix)
 
     # ----------------------------------------------------------------- import
-    def process_announcement(self, announcement: Announcement) -> ImportResult:
-        """Import one announcement from a neighbor; returns what happened."""
+    def import_announcement(self, announcement: Announcement) -> ImportResult:
+        """Run import policy and update the Adj-RIB-In, *without* re-selecting.
+
+        This is the deferred half used by the batch propagation engine:
+        it applies loop prevention, inbound filters and community
+        services and stores the result, but leaves best-path selection
+        to a later :meth:`refresh_best` so a router receiving several
+        updates for one prefix in the same wave re-selects once.
+        ``best_changed`` of the returned result is therefore always
+        False here.
+        """
         sender = announcement.sender_asn
         if sender not in self.neighbor_relationships:
             raise RoutingError(f"AS{self.asn} received an announcement from non-neighbor AS{sender}")
 
         attributes = announcement.attributes
-        # Loop prevention: reject routes already containing our ASN.
+        # Loop prevention: reject routes already containing our ASN.  The
+        # update still implicitly withdraws whatever this sender announced
+        # for the prefix before (RFC 4271 §9.1.4): the rejected entry
+        # replaces the stale one so it can never linger as a candidate.
         if attributes.as_path.contains(self.asn):
-            return ImportResult(False, reason="as-path loop")
+            entry = RouteEntry(
+                prefix=announcement.prefix,
+                attributes=attributes,
+                learned_from=sender,
+                rejected=True,
+                rejection_reason="as-path loop",
+            )
+            self._rib_in(sender).update(entry)
+            return ImportResult(False, entry=entry, reason="as-path loop")
 
         is_blackhole_tagged = self._is_blackhole_tagged(attributes.communities)
         decision = self.inbound_filters.evaluate(
@@ -182,26 +212,38 @@ class Router:
                 rejection_reason=decision.reason,
             )
             self._rib_in(sender).update(entry)
-            changed = self._refresh_best(announcement.prefix)
-            return ImportResult(False, entry=entry, reason=decision.reason, best_changed=changed)
+            return ImportResult(False, entry=entry, reason=decision.reason)
 
         # eBGP: LOCAL_PREF is not accepted from neighbors; reset to default so
         # only this AS's own policies (community services) can set it.
-        attributes = attributes.replace(local_pref=None)
+        if attributes.local_pref is not None:
+            attributes = attributes.replace(local_pref=None)
 
         entry = RouteEntry(
             prefix=announcement.prefix, attributes=attributes, learned_from=sender
         )
         entry, triggered = self._apply_community_services(entry)
         self._rib_in(sender).update(entry)
-        changed = self._refresh_best(announcement.prefix)
-        return ImportResult(True, entry=entry, triggered_services=triggered, best_changed=changed)
+        return ImportResult(True, entry=entry, triggered_services=triggered)
+
+    def process_announcement(self, announcement: Announcement) -> ImportResult:
+        """Import one announcement from a neighbor; returns what happened.
+
+        The eager single-update entry point: import plus immediate
+        best-path refresh, with ``best_changed`` reporting the outcome.
+        """
+        result = self.import_announcement(announcement)
+        result.best_changed = self._refresh_best(announcement.prefix)
+        return result
+
+    def remove_announcement(self, prefix: Prefix, sender_asn: int) -> bool:
+        """Drop a neighbor's route *without* re-selecting; True if one existed."""
+        rib = self.adj_rib_in.get(sender_asn)
+        return rib is not None and rib.withdraw(prefix) is not None
 
     def process_withdrawal(self, prefix: Prefix, sender_asn: int) -> bool:
         """Withdraw a neighbor's route for ``prefix``; return True if best changed."""
-        rib = self.adj_rib_in.get(sender_asn)
-        if rib is not None:
-            rib.withdraw(prefix)
+        self.remove_announcement(prefix, sender_asn)
         return self._refresh_best(prefix)
 
     def _is_blackhole_tagged(self, communities: CommunitySet) -> bool:
@@ -271,22 +313,32 @@ class Router:
                 candidates.append(entry)
         return candidates
 
+    def refresh_best(self, prefix: Prefix) -> bool:
+        """Recompute the best route for ``prefix``; return True if it changed.
+
+        The deferred half of the batch import cycle (see
+        :meth:`import_announcement`).
+        """
+        return self._refresh_best(prefix)
+
     def _refresh_best(self, prefix: Prefix) -> bool:
         """Recompute the best route for ``prefix``; return True if it changed."""
         candidates = self._candidates(prefix)
         previous = self.loc_rib.best(prefix)
         new_best = best_path(candidates)
         self.loc_rib.set_candidates(prefix, candidates)
-        self.loc_rib.set_best(prefix, new_best)
         if previous is None and new_best is None:
             return False
-        if previous is None or new_best is None:
-            return True
         # Compare the full entry (modulo the best flag): export-side fields
         # like suppress_to, announce_only_to and export_prepend change what
         # neighbors receive, so a re-announcement that only alters them must
-        # still report a change and re-trigger export processing.
-        return previous.replace(best=False) != new_best.replace(best=False)
+        # still report a change and re-trigger export processing.  The
+        # Loc-RIB (and its LPM trie) is only written when something did
+        # change — on the propagation hot path most refreshes are no-ops.
+        if previous is not None and new_best is not None and previous.same_route(new_best):
+            return False
+        self.loc_rib.set_best(prefix, new_best)
+        return True
 
     def refresh_all(self) -> list[Prefix]:
         """Recompute every prefix's best route; return prefixes whose best changed."""
@@ -296,8 +348,20 @@ class Router:
         return [p for p in prefixes if self._refresh_best(p)]
 
     # ----------------------------------------------------------------- export
-    def export_to(self, neighbor_asn: int, prefix: Prefix) -> ExportDecision:
-        """Decide whether and how the current best route for ``prefix`` is exported."""
+    def export_to(
+        self, neighbor_asn: int, prefix: Prefix, cache: dict | None = None
+    ) -> ExportDecision:
+        """Decide whether and how the current best route for ``prefix`` is exported.
+
+        ``cache`` is an optional batch-scoped memo (see
+        :meth:`BgpSimulator.apply`): the outbound-attribute construction
+        depends on everything about the best route *except* its prefix,
+        so a batch announcing many prefixes with identical attributes
+        pays the policy/prepend/rewrite cost once per (router, neighbor,
+        attributes) instead of once per prefix.  The cache must not
+        outlive the propagation pass — policies, sessions and export
+        additions may change between passes.
+        """
         relationship_out = self.relationship_with(neighbor_asn)
         if relationship_out is None:
             return ExportDecision(False, reason=f"AS{neighbor_asn} is not a neighbor")
@@ -313,16 +377,15 @@ class Router:
         # Do not send a route back to the neighbor we learned it from.
         if best.learned_from == neighbor_asn:
             return ExportDecision(False, reason="split horizon")
+        attributes = best.attributes
         # Well-known scoping communities.
-        if NO_ADVERTISE in best.attributes.communities:
-            return ExportDecision(False, reason="NO_ADVERTISE")
-        if NO_EXPORT in best.attributes.communities:
-            return ExportDecision(False, reason="NO_EXPORT")
-        if (
-            self.relationship_with(neighbor_asn) == Relationship.PEER
-            and "65535:65284" in [str(c) for c in best.attributes.communities]
-        ):
-            return ExportDecision(False, reason="NO_PEER")
+        if attributes.communities:
+            if NO_ADVERTISE in attributes.communities:
+                return ExportDecision(False, reason="NO_ADVERTISE")
+            if NO_EXPORT in attributes.communities:
+                return ExportDecision(False, reason="NO_EXPORT")
+            if relationship_out == Relationship.PEER and NO_PEER in attributes.communities:
+                return ExportDecision(False, reason="NO_PEER")
         # Restrictions set by community actions at this AS.
         if neighbor_asn in best.suppress_to:
             return ExportDecision(False, reason="suppressed by community action")
@@ -338,8 +401,23 @@ class Router:
             if relationship_out != Relationship.CUSTOMER:
                 return ExportDecision(False, reason="valley-free export rule")
 
+        key = None
+        if cache is not None:
+            key = (self.asn, neighbor_asn, attributes, best.export_prepend)
+            memo = cache.get(key)
+            if memo is not None:
+                outbound_attributes, origin_asn = memo
+                return ExportDecision(
+                    True,
+                    announcement=Announcement(
+                        prefix=prefix,
+                        attributes=outbound_attributes,
+                        sender_asn=self.asn,
+                        origin_asn=origin_asn,
+                    ),
+                )
+
         # Build the outbound attributes.
-        attributes = best.attributes
         # Communities: propagation policy decides what is forwarded; vendors
         # that do not send communities by default strip everything unless
         # explicitly configured.
@@ -360,7 +438,13 @@ class Router:
             local_pref=None,
             med=None,
         )
-        origin_asn = attributes.as_path.origin_asn or self.asn
+        # AS0 is falsy but a representable (spoofed) origin, so only an
+        # empty path falls back to the exporter's own ASN.
+        origin_asn = attributes.as_path.origin_asn
+        if origin_asn is None:
+            origin_asn = self.asn
+        if key is not None:
+            cache[key] = (outbound_attributes, origin_asn)
         announcement = Announcement(
             prefix=prefix,
             attributes=outbound_attributes,

@@ -112,7 +112,20 @@ class BlackholeSweep:
         self.include_well_known = include_well_known
         self.experiment_prefix = platform.allocated_prefixes[0].subprefix(24, 2)
 
-    def _sweep_one(self, community: Community, target_asn: int) -> CommunitySweepOutcome:
+    def _baseline_plane(self) -> DataPlane:
+        """The clean (untagged) forwarding state, shared by every sweep step.
+
+        The pre-attack state is identical for every swept community, so
+        it is simulated once per :meth:`run` instead of once per
+        community — the traceroute lower-bounds reuse it directly.
+        """
+        clean = BgpSimulator(self.topology)
+        self.platform.announce(clean, self.experiment_prefix)
+        return DataPlane(clean)
+
+    def _sweep_one(
+        self, community: Community, target_asn: int, baseline_plane: DataPlane
+    ) -> CommunitySweepOutcome:
         """Run the four-step protocol for one community."""
         simulator = BgpSimulator(self.topology)
         # Step 1+2: plain announcement, baseline probing.
@@ -133,9 +146,6 @@ class BlackholeSweep:
             # Lower-bound the distance of the community target using the
             # forwarding path of an affected probe before the blackholing.
             probe_asn = self._probe_asn(sorted(lost)[0])
-            clean = BgpSimulator(self.topology)
-            self.platform.announce(clean, self.experiment_prefix)
-            baseline_plane = DataPlane(clean)
             trace = baseline_plane.traceroute(
                 probe_asn, self.experiment_prefix.host(), self.experiment_prefix.family
             )
@@ -161,13 +171,17 @@ class BlackholeSweep:
         """Sweep every verified community (optionally confirming with a second pass)."""
         records = list(self.blackhole_list.verified())
         result = SweepResult(probe_count=len(self.atlas.vantage_points))
+        baseline_plane = self._baseline_plane()
         for record in records:
-            result.outcomes.append(self._sweep_one(record.community, record.target_asn))
+            result.outcomes.append(
+                self._sweep_one(record.community, record.target_asn, baseline_plane)
+            )
         if self.include_well_known:
-            result.outcomes.append(self._sweep_one(BLACKHOLE, 0))
+            result.outcomes.append(self._sweep_one(BLACKHOLE, 0, baseline_plane))
         if confirm:
             second = [
-                self._sweep_one(record.community, record.target_asn) for record in records
+                self._sweep_one(record.community, record.target_asn, baseline_plane)
+                for record in records
             ]
             first_effective = {
                 o.community

@@ -44,6 +44,19 @@ class InjectionPlatform:
         """True if the prefix is inside the platform's allocation."""
         return any(own.contains_prefix(prefix) for own in self.allocated_prefixes)
 
+    def _check_aup(self, prefix: Prefix, hijack: bool) -> None:
+        """Raise :class:`AupViolationError` if announcing ``prefix`` violates the AUP."""
+        if self.owns(prefix):
+            return
+        if not hijack:
+            raise AupViolationError(
+                f"{self.name} does not own {prefix}; pass hijack=True only where permitted"
+            )
+        if not self.allows_hijack:
+            raise AupViolationError(
+                f"the AUP of {self.name} forbids announcing prefixes outside its allocation"
+            )
+
     def announce(
         self,
         simulator: BgpSimulator,
@@ -58,24 +71,40 @@ class InjectionPlatform:
         space outside the allocation; it raises
         :class:`AupViolationError` on platforms that forbid it.
         """
-        if not self.owns(prefix):
-            if not hijack:
-                raise AupViolationError(
-                    f"{self.name} does not own {prefix}; pass hijack=True only where permitted"
-                )
-            if not self.allows_hijack:
-                raise AupViolationError(
-                    f"the AUP of {self.name} forbids announcing prefixes outside its allocation"
-                )
+        self._check_aup(prefix, hijack)
         if spoofed_origin_asn is not None and not self.allows_hijack:
             raise AupViolationError(f"the AUP of {self.name} forbids origin spoofing")
         return simulator.announce(
             self.asn, prefix, communities=communities, spoofed_origin_asn=spoofed_origin_asn
         )
 
+    def announce_many(
+        self,
+        simulator: BgpSimulator,
+        announcements: list[tuple[Prefix, CommunitySet | None]],
+        hijack: bool = False,
+    ) -> SimulationReport:
+        """Announce many ``(prefix, communities)`` pairs in one batched pass.
+
+        The AUP is enforced per prefix *before* anything is originated,
+        so a violating batch leaves the simulation untouched.
+        """
+        announcements = list(announcements)
+        for prefix, _communities in announcements:
+            self._check_aup(prefix, hijack)
+        return simulator.announce_many(
+            (self.asn, prefix, communities) for prefix, communities in announcements
+        )
+
     def withdraw(self, simulator: BgpSimulator, prefix: Prefix) -> SimulationReport:
         """Withdraw a previously announced prefix."""
         return simulator.withdraw(self.asn, prefix)
+
+    def withdraw_many(
+        self, simulator: BgpSimulator, prefixes: list[Prefix]
+    ) -> SimulationReport:
+        """Withdraw many previously announced prefixes in one batched pass."""
+        return simulator.withdraw_many((self.asn, prefix) for prefix in prefixes)
 
 
 def _next_free_slash20(topology: Topology) -> int:

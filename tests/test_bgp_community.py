@@ -64,6 +64,16 @@ class TestCommunity:
         assert NO_ADVERTISE.is_well_known
         assert NO_PEER.is_well_known
 
+    def test_well_known_raw_values_hoisted(self):
+        # is_well_known consults the module-level frozenset (hot-path
+        # classification must not rebuild the set per call) and the set
+        # covers exactly the IETF enum.
+        from repro.bgp.community import WELL_KNOWN_RAW_VALUES
+
+        assert WELL_KNOWN_RAW_VALUES == frozenset(int(c) for c in WellKnownCommunity)
+        assert all(Community.from_int(raw).is_well_known for raw in WELL_KNOWN_RAW_VALUES)
+        assert not Community(3356, 666).is_well_known
+
     def test_blackhole_value_convention(self):
         assert Community(3356, 666).has_blackhole_value
         assert not Community(3356, 666).is_blackhole  # only 65535:666 is the RFC one

@@ -196,6 +196,87 @@ class TestRouter:
         exported = router.export_to(20, PREFIX).announcement
         assert Community(99, 666) in exported.attributes.communities
 
+    def test_looped_reannouncement_implicitly_withdraws_previous_route(self):
+        # BGP implicit-withdraw semantics: a new update from the same
+        # sender replaces the previous route even when the new update is
+        # rejected (as-path loop), so the stale route cannot survive as
+        # a best-path candidate.
+        router = two_as_router()
+        accepted = router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(as_path=ASPath.of(20, 5)),
+                sender_asn=20,
+                origin_asn=5,
+            )
+        )
+        assert accepted.accepted
+        assert router.loc_rib.best(PREFIX) is not None
+
+        looped = router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(as_path=ASPath.of(20, 10, 5)),
+                sender_asn=20,
+                origin_asn=5,
+            )
+        )
+        assert not looped.accepted
+        assert looped.reason == "as-path loop"
+        # The best route fell away with no other candidate...
+        assert looped.best_changed
+        assert router.loc_rib.best(PREFIX) is None
+        # ...and the stored entry is the rejected replacement, not the old route.
+        stored = router.adj_rib_in[20].get(PREFIX)
+        assert stored is not None and stored.rejected
+        assert stored.rejection_reason == "as-path loop"
+
+    def test_looped_reannouncement_falls_back_to_other_neighbor(self):
+        router = two_as_router()
+        for sender, path in ((20, [20, 5]), (30, [30, 7, 5])):
+            router.process_announcement(
+                Announcement(
+                    prefix=PREFIX,
+                    attributes=PathAttributes(as_path=ASPath.of(*path)),
+                    sender_asn=sender,
+                    origin_asn=5,
+                )
+            )
+        assert router.loc_rib.best(PREFIX).learned_from == 20  # shorter path
+        looped = router.process_announcement(
+            Announcement(
+                prefix=PREFIX,
+                attributes=PathAttributes(as_path=ASPath.of(20, 10, 5)),
+                sender_asn=20,
+                origin_asn=5,
+            )
+        )
+        assert looped.best_changed
+        assert router.loc_rib.best(PREFIX).learned_from == 30  # fell back
+
+    def test_no_peer_community_blocks_export_to_peers_only(self):
+        from repro.bgp.community import NO_PEER
+
+        asys = AutonomousSystem(asn=10, propagation_policy=ForwardAllPolicy())
+        router = Router(asys, {20: Relationship.PEER, 30: Relationship.CUSTOMER})
+        router.originate(PREFIX, communities=CommunitySet.of(NO_PEER))
+        peer_decision = router.export_to(20, PREFIX)
+        assert not peer_decision.export
+        assert peer_decision.reason == "NO_PEER"
+        # NO_PEER scopes bilateral peering links only; customers still
+        # receive the route (RFC 3765).
+        assert router.export_to(30, PREFIX).export
+
+    def test_as0_spoofed_origin_is_preserved_on_export(self):
+        # AS0 is falsy: the old `origin_asn or self.asn` fallback silently
+        # rewrote an AS0-origin hijack into a legitimate-looking origin.
+        router = two_as_router()
+        router.originate(PREFIX, origin_asn=0)
+        decision = router.export_to(30, PREFIX)
+        assert decision.export
+        assert decision.announcement.origin_asn == 0
+        assert decision.announcement.attributes.as_path.asns() == [10, 0]
+
     def test_prepend_applied_on_export_only(self):
         from repro.policy.services import CommunityServiceCatalog
 
@@ -328,6 +409,99 @@ class TestCollectorSessions:
         result = router.process_announcement(announcement)
         assert result.accepted
         assert 99 in router.adj_rib_in
+
+
+class TestHandRolledCopies:
+    """Guard the hand-rolled replace()/same_route() against field drift.
+
+    Both were rewritten without dataclasses.replace for propagation
+    hot-path speed; these tests force every (current and future) field
+    through them so a newly added dataclass field that the hand-rolled
+    code misses fails loudly instead of being silently dropped.
+    """
+
+    def sample_entry(self) -> RouteEntry:
+        from repro.bgp.attributes import Origin
+        from repro.bgp.community import LargeCommunity
+
+        attributes = PathAttributes(
+            as_path=ASPath.of(4, 2),
+            origin=Origin.EGP,
+            next_hop=0x0A000001,
+            med=30,
+            local_pref=140,
+            communities=CommunitySet.of("2:50"),
+            large_communities=(LargeCommunity(1, 2, 3),),
+            atomic_aggregate=True,
+        )
+        return RouteEntry(
+            prefix=PREFIX,
+            attributes=attributes,
+            learned_from=4,
+            best=True,
+            blackholed=True,
+            rejected=True,
+            rejection_reason="sample",
+            export_prepend=2,
+            suppress_to=frozenset({9}),
+            announce_only_to=frozenset({8}),
+        )
+
+    @staticmethod
+    def alternative_value(field, required_samples):
+        import dataclasses
+
+        if field.name in required_samples:
+            return required_samples[field.name]
+        if field.default is not dataclasses.MISSING:
+            return field.default
+        return field.default_factory()
+
+    def test_every_field_is_non_default_in_sample(self):
+        # The drift guards below discriminate via "sample value differs
+        # from the field default"; a future field must be added to
+        # sample_entry() with a non-default value to keep them sharp.
+        import dataclasses
+
+        entry = self.sample_entry()
+        for owner, fields_of in ((entry, RouteEntry), (entry.attributes, PathAttributes)):
+            for field in dataclasses.fields(fields_of):
+                value = getattr(owner, field.name)
+                if field.default is not dataclasses.MISSING:
+                    assert value != field.default, field.name
+                elif field.default_factory is not dataclasses.MISSING:
+                    assert value != field.default_factory(), field.name
+
+    def test_replace_roundtrip_preserves_every_field(self):
+        entry = self.sample_entry()
+        assert entry.replace() == entry
+        assert entry.attributes.replace() == entry.attributes
+
+    def test_replace_and_same_route_cover_every_field(self):
+        import dataclasses
+
+        entry = self.sample_entry()
+        entry_samples = {
+            "prefix": Prefix.from_string("198.51.100.0/24"),
+            "attributes": PathAttributes(as_path=ASPath.of(7)),
+            "learned_from": 99,
+        }
+        for field in dataclasses.fields(RouteEntry):
+            changed = entry.replace(
+                **{field.name: self.alternative_value(field, entry_samples)}
+            )
+            assert changed != entry, field.name
+            if field.name == "best":
+                assert entry.same_route(changed), "same_route must ignore the best flag"
+            else:
+                assert not entry.same_route(changed), field.name
+
+        attribute_samples = {"as_path": ASPath.of(7)}
+        for field in dataclasses.fields(PathAttributes):
+            changed = entry.attributes.replace(
+                **{field.name: self.alternative_value(field, attribute_samples)}
+            )
+            assert changed != entry.attributes, field.name
 
 
 def suppress_topology() -> Topology:
