@@ -1,0 +1,58 @@
+"""Macrobenchmark — GridRunner fan-out vs the sequential in-process loop.
+
+A grid of blackhole-sweep runs (the repo's heaviest per-seed experiment)
+is executed twice: sequentially in-process and fanned across
+``ProcessPoolExecutor`` workers.  The two runs must produce identical
+results in identical order (the GridRunner determinism contract, also
+asserted in ``tests/test_experiments.py``); the benchmark reports the
+measured speedup.
+
+The speedup scales with the worker count: on a multi-core box the
+parallel grid approaches ``min(workers, len(grid))`` times the
+sequential throughput, while on a single-core container the pool only
+adds process overhead — so the printed numbers are informative and only
+the equivalence is asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments import GridRunner, expand_grid
+
+SEEDS = tuple(range(6))
+PROBES = 40
+
+
+def test_grid_runner_parallel_matches_sequential(benchmark):
+    specs = expand_grid("blackhole-sweep", seeds=SEEDS, probes=PROBES)
+    workers = min(4, os.cpu_count() or 1)
+    runner = GridRunner(max_workers=workers)
+
+    parallel_results = benchmark.pedantic(runner.run, args=(specs,), rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    sequential_results = runner.run_sequential(specs)
+    sequential_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_check = runner.run(specs)
+    parallel_seconds = time.perf_counter() - start
+
+    # Determinism: same results, same order, both against the benchmarked run.
+    assert [r.comparable() for r in sequential_results] == [
+        r.comparable() for r in parallel_results
+    ]
+    assert [r.comparable() for r in parallel_check] == [
+        r.comparable() for r in parallel_results
+    ]
+    assert all(result.succeeded for result in parallel_results)
+
+    speedup = sequential_seconds / parallel_seconds
+    print()
+    print(
+        f"{len(specs)}-seed blackhole-sweep grid ({PROBES} probes each, "
+        f"{workers} workers): sequential {sequential_seconds:.2f} s, "
+        f"parallel {parallel_seconds:.2f} s, speedup {speedup:.2f}x"
+    )

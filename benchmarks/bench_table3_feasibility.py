@@ -3,25 +3,37 @@
 Paper: blackholing is *easy* with and without hijacking; traffic steering
 (local-pref and prepending) is *hard* because providers only act on
 communities from customers; route manipulation is *medium* (needs the
-route-server evaluation order).  All six scenario variants are executed on
-their canonical topologies and graded by the gates encountered.
+route-server evaluation order).  All six scenario variants run through
+the registered ``feasibility`` experiment (registry -> spec -> lifecycle
+-> uniform result) and are graded by the gates encountered.
 """
 
 from __future__ import annotations
 
-from repro.attacks.feasibility import Difficulty, build_feasibility_matrix
+from repro.experiments import ExperimentStatus, get
+
+
+def _difficulty_of(metrics: dict, scenario: str, hijack: bool) -> str:
+    for row in metrics["rows"]:
+        if row["scenario"] == scenario and row["hijack"] == hijack:
+            return row["difficulty"]
+    raise KeyError(f"no row for {scenario} hijack={hijack}")
 
 
 def test_table3_feasibility(benchmark):
-    matrix = benchmark.pedantic(build_feasibility_matrix, rounds=3, iterations=1)
+    experiment_cls = get("feasibility")
+    experiment = experiment_cls(experiment_cls.default_spec(seed=42))
+    result = benchmark.pedantic(experiment.run, rounds=3, iterations=1)
     print()
-    print(matrix.to_table().render())
+    print(experiment.render_text(result))
 
-    assert all(row.succeeded for row in matrix.rows)
-    assert matrix.difficulty_of("Blackholing", False) == Difficulty.EASY
-    assert matrix.difficulty_of("Blackholing", True) == Difficulty.EASY
-    assert matrix.difficulty_of("Traffic steering (local pref)", False) == Difficulty.HARD
-    assert matrix.difficulty_of("Traffic steering (local pref)", True) == Difficulty.HARD
-    assert matrix.difficulty_of("Traffic steering (path prepending)", False) == Difficulty.HARD
-    assert matrix.difficulty_of("Route manipulation", False) == Difficulty.MEDIUM
-    assert matrix.difficulty_of("Route manipulation", True) == Difficulty.MEDIUM
+    assert result.status is ExperimentStatus.OK
+    metrics = result.metrics
+    assert metrics["succeeded_count"] == metrics["row_count"] == 8
+    assert _difficulty_of(metrics, "Blackholing", False) == "easy"
+    assert _difficulty_of(metrics, "Blackholing", True) == "easy"
+    assert _difficulty_of(metrics, "Traffic steering (local pref)", False) == "hard"
+    assert _difficulty_of(metrics, "Traffic steering (local pref)", True) == "hard"
+    assert _difficulty_of(metrics, "Traffic steering (path prepending)", False) == "hard"
+    assert _difficulty_of(metrics, "Route manipulation", False) == "medium"
+    assert _difficulty_of(metrics, "Route manipulation", True) == "medium"

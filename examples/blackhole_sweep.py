@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""The Section 7.6 automated blackhole-community sweep.
+"""The Section 7.6 automated blackhole-community sweep, via the experiment API.
 
-For every verified blackhole community in the (synthetic) Giotsas-style
-list, the sweep announces the experiment prefix with and without the
-community from a PEERING-like injection platform, probes it from a fixed
-set of Atlas-style vantage points, and reports which communities caused
-previously responsive probes to go dark — including the confirmation pass
-and the AS-hop analysis of where the acted-upon community's target sits.
+The sweep is a registered experiment (``blackhole-sweep``): a declarative
+spec (seed, topology overrides, platform attachments, parameters) drives
+the common lifecycle — build topology, attach the PEERING-like injection
+platform and the Atlas probes, sweep every verified blackhole community
+with a confirmation pass — and returns a uniform, JSON-serializable
+result.  The rich per-community outcomes stay available on the
+experiment's context for detail rendering like the table below.
 
 Run with::
 
@@ -15,48 +16,48 @@ Run with::
 
 from __future__ import annotations
 
-from repro.datasets.giotsas import build_blackhole_list
-from repro.probing.atlas import AtlasPlatform
-from repro.topology.generator import TopologyGenerator, TopologyParameters
-from repro.wild.blackhole_sweep import BlackholeSweep
-from repro.wild.peering import attach_peering_testbed
+from repro.experiments import get
 
 
 def main() -> None:
-    parameters = TopologyParameters(tier1_count=3, transit_count=30, stub_count=120, seed=23)
-    topology = TopologyGenerator(parameters).generate()
-    platform = attach_peering_testbed(topology, upstream_count=10)
-    atlas = AtlasPlatform.deploy(topology, probe_count=200, exclude_asns={platform.asn})
-    blackhole_list = build_blackhole_list(topology, inferred_count=8, seed=23)
+    experiment_cls = get("blackhole-sweep")
+    spec = experiment_cls.default_spec(seed=23, probes=200, inferred_count=8).replace(
+        topology={"tier1_count": 3, "transit_count": 30, "stub_count": 120}
+    )
+    experiment = experiment_cls(spec)
+    result = experiment.run()
+    metrics = result.metrics
 
-    sweep = BlackholeSweep(topology, platform, atlas, blackhole_list)
-    result = sweep.run(confirm=True)
-
-    print(f"verified blackhole communities swept: {len(blackhole_list.verified())}")
-    print(f"vantage points:                      {result.probe_count}")
+    print(f"experiment: {spec.name} (seed {spec.seed}, status {result.status.value})")
+    print(f"communities swept:                {metrics['communities_swept']}")
+    print(f"vantage points:                   {metrics['probe_count']}")
     print()
     print(f"{'community':>14} | {'target':>8} | {'probes lost':>11} | target hops")
     print("-" * 56)
-    for outcome in result.effective_communities():
-        hops = outcome.target_hops if outcome.target_hops is not None else "off-path"
+    for outcome in metrics["outcomes"]:
+        hops = outcome["target_hops"] if outcome["target_hops"] is not None else "off-path"
         print(
-            f"{str(outcome.community):>14} | AS{outcome.target_asn:<6} | "
-            f"{len(outcome.probes_lost):>11} | {hops}"
+            f"{outcome['community']:>14} | AS{outcome['target_asn']:<6} | "
+            f"{outcome['probes_lost']:>11} | {hops}"
         )
     print()
     print(
-        f"communities inducing blackholing: {len(result.effective_communities())} "
-        f"({result.effective_fraction():.1%} of the swept list)"
+        f"communities inducing blackholing: {metrics['effective_communities']} "
+        f"({metrics['effective_fraction']:.1%} of the swept list)"
     )
     print(
-        f"vantage points affected:          {len(result.affected_probes())} "
-        f"({result.affected_probe_fraction():.1%})"
+        f"vantage points affected:          {metrics['affected_probes']} "
+        f"({metrics['affected_probe_fraction']:.1%})"
     )
-    print(f"confirmation pass identical:      {result.confirmed}")
+    print(f"confirmation pass identical:      {metrics['confirmed']}")
     print(
-        f"community/path pairs: {result.direct_peer_pairs()} direct-peer, "
-        f"{result.multi_hop_pairs()} multi-hop, {result.offpath_pairs()} off-path"
+        f"community/path pairs: {metrics['direct_peer_pairs']} direct-peer, "
+        f"{metrics['multi_hop_pairs']} multi-hop, {metrics['offpath_pairs']} off-path"
     )
+    print()
+    print(f"per-stage timings: " + ", ".join(
+        f"{stage} {seconds * 1000:.0f} ms" for stage, seconds in result.timings.items()
+    ))
 
 
 if __name__ == "__main__":

@@ -59,6 +59,22 @@ def main() -> None:
         f" {report.rounds:,} worklist steps)"
     )
 
+    # 6. The declarative experiment API: every scenario in the repo is a
+    #    registered experiment behind one spec -> lifecycle -> result
+    #    pipeline; results serialize to JSON for persistence and replay.
+    from repro.experiments import available, get, run_experiment
+
+    print()
+    print(f"registered experiments: {', '.join(available())}")
+    spec = get("route-manipulation").default_spec(seed=42)
+    result = run_experiment(spec)
+    print(
+        f"run {spec.name!r}: status={result.status.value}"
+        f" succeeded={result.metrics['succeeded']}"
+        f" ({result.total_seconds() * 1000:.1f} ms across {len(result.timings)} stages)"
+    )
+    print(f"replayable JSON: {len(result.to_json())} bytes")
+
 
 if __name__ == "__main__":
     main()

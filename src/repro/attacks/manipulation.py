@@ -19,6 +19,7 @@ from repro.bgp.attributes import PathAttributes
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.bgp.route import Announcement
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.routing.route_server import RouteServer
 from repro.topology.ixp import Ixp
 from repro.topology.topology import Topology
@@ -107,4 +108,60 @@ class RouteManipulationAttack:
             },
             attackee_route_before=route_before,
             attackee_route_after=route_after,
+        )
+
+
+@register("route-manipulation")
+class RouteManipulationExperiment(Experiment):
+    """The Figure 9 route-server suppression attack at an IXP."""
+
+    description = "suppress a member's route at an IXP route server (Figure 9)"
+    paper_section = "Section 5.3"
+    default_params = {"member_count": 6, "victim_prefix": "203.0.113.0/24"}
+
+    def build(self, ctx: ExperimentContext) -> None:
+        from repro.attacks.scenario import build_figure9_ixp
+
+        self.reject_topology_spec(ctx)
+        topology, ixp = build_figure9_ixp(member_count=int(self.param("member_count")))
+        ctx.topology = topology
+        ctx.scratch["ixp"] = ixp
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        from repro.attacks.scenario import ScenarioRoles
+
+        ixp = ctx.scratch["ixp"]
+        roles = ScenarioRoles(
+            attacker_asn=2, attackee_asn=1, community_target_asn=ixp.route_server_asn
+        )
+        attack = RouteManipulationAttack(
+            ctx.require_topology(),
+            ixp,
+            roles,
+            victim_prefix=Prefix.from_string(str(self.param("victim_prefix"))),
+            victim_member_asn=4,
+        )
+        outcome = attack.run()
+        ctx.scratch["outcome"] = outcome
+        return {
+            "succeeded": outcome.succeeded,
+            "description": outcome.description,
+            "route_before": outcome.attackee_route_before,
+            "route_after": outcome.attackee_route_after,
+            "route_withdrawn": outcome.route_withdrawn,
+            "details": outcome.details,
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        return bool(metrics["succeeded"])
+
+    def render_text(self, result: ExperimentResult) -> str:
+        metrics = result.metrics
+        return "\n".join(
+            [
+                metrics["description"],
+                f"  victim saw the route before: {metrics['route_before']}",
+                f"  victim sees the route after: {metrics['route_after']}",
+                f"  attack succeeded:            {metrics['succeeded']}",
+            ]
         )

@@ -23,6 +23,7 @@ from repro.bgp.community import BLACKHOLE, Community, CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.dataplane.forwarding import DataPlane
 from repro.exceptions import AttackError
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.routing.engine import BgpSimulator
 from repro.topology.topology import Topology
 
@@ -163,3 +164,57 @@ class RtbhAttack:
         if best.blackholed:
             return "null0 (discard)"
         return f"via AS{best.learned_from}"
+
+
+@register("rtbh")
+class RtbhLabExperiment(Experiment):
+    """The Figure 7 remotely-triggered-blackholing scenario (both variants)."""
+
+    description = "RTBH on the Figure 7 topology, with or without hijack"
+    paper_section = "Section 5.1"
+    default_params = {"hijack": False, "victim_prefix": "203.0.113.0/24"}
+
+    def build(self, ctx: ExperimentContext) -> None:
+        from repro.attacks.scenario import build_figure7_topology
+
+        self.reject_topology_spec(ctx)
+        ctx.topology = build_figure7_topology()
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        from repro.attacks.scenario import ScenarioRoles
+
+        roles = ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=3)
+        attack = RtbhAttack(
+            ctx.require_topology(),
+            roles,
+            victim_prefix=Prefix.from_string(str(self.param("victim_prefix"))),
+            use_hijack=bool(self.param("hijack")),
+        )
+        outcome = attack.run()
+        ctx.scratch["outcome"] = outcome
+        return {
+            "succeeded": outcome.succeeded,
+            "description": outcome.description,
+            "attack_prefix": str(outcome.attack_prefix),
+            "target_next_hop": outcome.target_next_hop,
+            "blackholed_at": sorted(outcome.blackholed_at),
+            "unreachable_from": sorted(outcome.unreachable_from),
+            "reachable_before": sorted(outcome.reachable_before),
+            "details": outcome.details,
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        return bool(metrics["succeeded"])
+
+    def render_text(self, result: ExperimentResult) -> str:
+        metrics = result.metrics
+        return "\n".join(
+            [
+                metrics["description"],
+                f"  attack prefix:          {metrics['attack_prefix']}",
+                f"  target's looking glass: {metrics['target_next_hop']}",
+                f"  ASes dropping traffic:  {metrics['blackholed_at']}",
+                f"  vantage points cut off: {metrics['unreachable_from']}",
+                f"  attack succeeded:       {metrics['succeeded']}",
+            ]
+        )

@@ -19,7 +19,8 @@ from dataclasses import dataclass
 from repro.attacks.scenario import AttackOutcome, ScenarioRoles
 from repro.bgp.community import Community, CommunitySet
 from repro.bgp.prefix import Prefix
-from repro.exceptions import AttackError
+from repro.exceptions import AttackError, ExperimentError
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.policy.actions import ActionType
 from repro.routing.engine import BgpSimulator
 from repro.topology.topology import Topology
@@ -208,3 +209,92 @@ class LocalPrefSteeringAttack:
             local_pref_before=local_pref_before,
             local_pref_after=local_pref_after,
         )
+
+
+def _steering_metrics(outcome: SteeringResult) -> dict:
+    """JSON-safe view of one steering run."""
+    return {
+        "succeeded": outcome.succeeded,
+        "description": outcome.description,
+        "path_before": outcome.path_before,
+        "path_after": outcome.path_after,
+        "path_changed": outcome.path_changed,
+        "local_pref_before": outcome.local_pref_before,
+        "local_pref_after": outcome.local_pref_after,
+        "details": outcome.details,
+    }
+
+
+@register("steering")
+class SteeringExperiment(Experiment):
+    """Both traffic-steering flavours on their canonical topologies.
+
+    ``variant`` selects ``prepend`` (Figure 2), ``local-pref``
+    (Figure 8b), or ``both`` (the default).
+    """
+
+    description = "traffic steering via prepend and local-pref communities"
+    paper_section = "Section 5.2"
+    default_params = {"variant": "both", "hijack": False}
+
+    VARIANTS = ("prepend", "local-pref")
+
+    def build(self, ctx: ExperimentContext) -> None:
+        self.reject_topology_spec(ctx)
+
+    def _run_prepend(self) -> SteeringResult:
+        from repro.attacks.scenario import build_figure2_topology
+
+        attack = PrependSteeringAttack(
+            build_figure2_topology(),
+            ScenarioRoles(attacker_asn=2, attackee_asn=1, community_target_asn=3),
+            victim_prefix=Prefix.from_string("198.51.100.0/24"),
+            observer_asn=6,
+            use_hijack=bool(self.param("hijack")),
+        )
+        return attack.run()
+
+    def _run_local_pref(self) -> SteeringResult:
+        from repro.attacks.scenario import build_figure8b_topology
+
+        attack = LocalPrefSteeringAttack(
+            build_figure8b_topology(),
+            ScenarioRoles(attacker_asn=2, attackee_asn=5, community_target_asn=1),
+            victim_prefix=Prefix.from_string("198.18.0.0/24"),
+        )
+        return attack.run()
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        variant = str(self.param("variant"))
+        if variant == "both":
+            selected = list(self.VARIANTS)
+        elif variant in self.VARIANTS:
+            selected = [variant]
+        else:
+            raise ExperimentError(
+                f"unknown steering variant {variant!r}; choose from "
+                f"{', '.join(self.VARIANTS)} or 'both'"
+            )
+        runners = {"prepend": self._run_prepend, "local-pref": self._run_local_pref}
+        variants: dict[str, dict] = {}
+        for key in selected:
+            outcome = runners[key]()
+            ctx.scratch[key] = outcome
+            variants[key] = _steering_metrics(outcome)
+        return {
+            "variants": variants,
+            "succeeded": all(v["succeeded"] for v in variants.values()),
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        return bool(metrics["succeeded"])
+
+    def render_text(self, result: ExperimentResult) -> str:
+        lines: list[str] = []
+        for key, variant in result.metrics["variants"].items():
+            lines.append(f"--- {key} ---")
+            lines.append(variant["description"])
+            lines.append(f"  path before:      {variant['path_before']}")
+            lines.append(f"  path after:       {variant['path_after']}")
+            lines.append(f"  attack succeeded: {variant['succeeded']}")
+        return "\n".join(lines)

@@ -1,102 +1,139 @@
 """Command-line interface: ``repro-bgp``.
 
+The CLI is registry-driven: every scenario in the repo is a registered
+experiment (see :mod:`repro.experiments`) and runs through the common
+spec -> lifecycle -> result pipeline.
+
 Sub-commands:
 
-* ``report``    — generate the synthetic dataset and print every Section 4
-  table/figure;
-* ``attacks``   — run the canonical attack scenarios and print Table 3;
-* ``sweep``     — run the Section 7.6 blackhole-community sweep;
-* ``propagation`` — run the Section 7.2 propagation check for both injection
-  platforms;
+* ``run <experiment>`` — run any registered experiment
+  (``--param k=v`` overrides, ``--json`` for the serializable result);
+* ``list``      — list the registered experiments;
+* ``report``    — alias for ``run report``: the Section 4 measurement
+  report over the synthetic dataset;
+* ``attacks``   — alias for ``run feasibility``: the Table 3 matrix;
+* ``sweep``     — alias for ``run blackhole-sweep`` (Section 7.6);
+* ``propagation`` — alias for ``run propagation-check`` (Section 7.2);
 * ``export-mrt`` — write the synthetic dataset to an MRT file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro import __version__
 
 
 def _build_dataset(seed: int, scale: str):
+    """The synthetic dataset for a seed/scale pair (spec-driven topology)."""
     from repro.datasets.synthetic import DatasetParameters, build_default_dataset
-    from repro.topology.generator import TopologyGenerator, TopologyParameters
+    from repro.experiments import ExperimentSpec
 
-    scales = {
-        "small": TopologyParameters(tier1_count=3, transit_count=20, stub_count=80, seed=seed),
-        "default": TopologyParameters(seed=seed),
-        "large": TopologyParameters(tier1_count=8, transit_count=120, stub_count=700, seed=seed),
-    }
-    topology = TopologyGenerator(scales[scale]).generate()
-    return build_default_dataset(topology, DatasetParameters(seed=seed))
+    spec = ExperimentSpec(name="report", seed=seed, scale=scale)
+    return build_default_dataset(spec.build_topology(), DatasetParameters(seed=seed))
 
 
+def _parse_params(pairs: list[str]) -> dict:
+    """Parse repeated ``--param key=value`` flags (values read as JSON when possible)."""
+    params: dict = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+        if key in ("seed", "scale"):
+            raise SystemExit(f"error: use --{key}, not --param {key}=...")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def _run_named(name: str, seed: int, scale: str | None = None, **params):
+    """Build the experiment's default spec with overrides and run it."""
+    from repro.experiments import get
+
+    experiment_cls = get(name)
+    spec = experiment_cls.default_spec(seed=seed, scale=scale, **params)
+    experiment = experiment_cls(spec)
+    return experiment, experiment.run()
+
+
+def _print_outcome(experiment, result, as_json: bool = False) -> int:
+    """Render one result (text or JSON); exit code reflects the status."""
+    from repro.experiments import ExperimentStatus
+
+    if as_json:
+        print(result.to_json(indent=2))
+    elif result.status is ExperimentStatus.ERROR:
+        print(f"error: {result.error}", file=sys.stderr)
+    else:
+        print(experiment.render_text(result))
+    return 0 if result.succeeded else 1
+
+
+# ------------------------------------------------------------ registry-driven
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.exceptions import ExperimentError
+
+    try:
+        experiment, result = _run_named(
+            args.experiment, args.seed, args.scale, **_parse_params(args.param)
+        )
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return _print_outcome(experiment, result, as_json=args.json)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import available, get
+
+    names = available()
+    if args.json:
+        catalogue = {
+            name: {
+                "section": get(name).paper_section,
+                "description": get(name).description,
+            }
+            for name in names
+        }
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    width = max(len(name) for name in names)
+    section_width = max(len(get(name).paper_section) for name in names)
+    for name in names:
+        experiment_cls = get(name)
+        print(
+            f"{name:<{width}}  {experiment_cls.paper_section:<{section_width}}"
+            f"  {experiment_cls.description}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------- legacy aliases
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.measurement.report import MeasurementReport
-
-    dataset = _build_dataset(args.seed, args.scale)
-    report = MeasurementReport(dataset.archive, dataset.topology, dataset.blackhole_list)
-    print(report.full_report())
-    return 0
+    experiment, result = _run_named("report", args.seed, args.scale)
+    return _print_outcome(experiment, result)
 
 
-def _cmd_attacks(_args: argparse.Namespace) -> int:
-    from repro.attacks.feasibility import build_feasibility_matrix
-
-    matrix = build_feasibility_matrix()
-    print(matrix.to_table().render())
-    return 0
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    experiment, result = _run_named("feasibility", args.seed)
+    return _print_outcome(experiment, result)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.datasets.giotsas import build_blackhole_list
-    from repro.probing.atlas import AtlasPlatform
-    from repro.topology.generator import TopologyGenerator, TopologyParameters
-    from repro.wild.blackhole_sweep import BlackholeSweep
-    from repro.wild.peering import attach_peering_testbed
-
-    parameters = TopologyParameters(
-        tier1_count=3, transit_count=25, stub_count=80, seed=args.seed
+    experiment, result = _run_named(
+        "blackhole-sweep", args.seed, probes=args.probes, confirm=not args.no_confirm
     )
-    topology = TopologyGenerator(parameters).generate()
-    platform = attach_peering_testbed(topology)
-    atlas = AtlasPlatform.deploy(topology, probe_count=args.probes, exclude_asns={platform.asn})
-    blackhole_list = build_blackhole_list(topology, seed=args.seed)
-    sweep = BlackholeSweep(topology, platform, atlas, blackhole_list)
-    result = sweep.run(confirm=not args.no_confirm)
-    effective = result.effective_communities()
-    print(f"communities swept:        {len(result.outcomes)}")
-    print(f"inducing blackholing:     {len(effective)} ({100 * result.effective_fraction():.1f}%)")
-    print(
-        f"vantage points affected:  {len(result.affected_probes())} of {result.probe_count}"
-        f" ({100 * result.affected_probe_fraction():.1f}%)"
-    )
-    print(f"confirmation pass agrees: {result.confirmed}")
-    return 0
+    return _print_outcome(experiment, result)
 
 
 def _cmd_propagation(args: argparse.Namespace) -> int:
-    from repro.collectors.platform import CollectorDeployment
-    from repro.topology.generator import TopologyGenerator, TopologyParameters
-    from repro.wild.peering import attach_peering_testbed, attach_research_network
-    from repro.wild.propagation_check import run_propagation_check
-
-    parameters = TopologyParameters(
-        tier1_count=3, transit_count=30, stub_count=120, seed=args.seed
-    )
-    topology = TopologyGenerator(parameters).generate()
-    peering = attach_peering_testbed(topology, upstream_count=10)
-    research = attach_research_network(topology)
-    deployment = CollectorDeployment.default_deployment(topology)
-    for platform in (research, peering):
-        result = run_propagation_check(topology, platform, deployment)
-        print(
-            f"{platform.name}: benign community {result.benign_community} on {result.test_prefix} "
-            f"forwarded by {result.forwarding_count} transit providers "
-            f"(of {len(result.ases_on_paths)} on-path ASes)"
-        )
-    return 0
+    experiment, result = _run_named("propagation-check", args.seed)
+    return _print_outcome(experiment, result)
 
 
 def _cmd_export_mrt(args: argparse.Namespace) -> int:
@@ -112,33 +149,64 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-bgp",
         description="Reproduction harness for 'BGP Communities: Even more Worms in the Routing Can'",
     )
+    from repro.experiments import SCALE_PRESETS
+
+    scales = list(SCALE_PRESETS)
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    report = subparsers.add_parser("report", help="print the Section 4 measurement report")
-    report.add_argument("--seed", type=int, default=42)
-    report.add_argument("--scale", choices=["small", "default", "large"], default="small")
+    # Shared parent parsers: every subcommand takes --seed the same way,
+    # and the dataset-driven ones share --scale.
+    seeded = argparse.ArgumentParser(add_help=False)
+    seeded.add_argument("--seed", type=int, default=42, help="deterministic seed")
+    scaled = argparse.ArgumentParser(add_help=False)
+    scaled.add_argument("--scale", choices=scales, default="small", help="topology size")
+
+    run = subparsers.add_parser(
+        "run", parents=[seeded], help="run a registered experiment by name"
+    )
+    run.add_argument("experiment", help="registry name (see the 'list' subcommand)")
+    run.add_argument("--scale", choices=scales, default=None, help="topology size preset")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="experiment parameter override (repeatable; value parsed as JSON)",
+    )
+    run.add_argument("--json", action="store_true", help="print the serializable result")
+    run.set_defaults(func=_cmd_run)
+
+    listing = subparsers.add_parser("list", help="list the registered experiments")
+    listing.add_argument("--json", action="store_true", help="print the catalogue as JSON")
+    listing.set_defaults(func=_cmd_list)
+
+    report = subparsers.add_parser(
+        "report", parents=[seeded, scaled], help="print the Section 4 measurement report"
+    )
     report.set_defaults(func=_cmd_report)
 
-    attacks = subparsers.add_parser("attacks", help="run the attack scenarios (Table 3)")
+    attacks = subparsers.add_parser(
+        "attacks", parents=[seeded], help="run the attack scenarios (Table 3)"
+    )
     attacks.set_defaults(func=_cmd_attacks)
 
-    sweep = subparsers.add_parser("sweep", help="run the Section 7.6 blackhole sweep")
-    sweep.add_argument("--seed", type=int, default=42)
+    sweep = subparsers.add_parser(
+        "sweep", parents=[seeded], help="run the Section 7.6 blackhole sweep"
+    )
     sweep.add_argument("--probes", type=int, default=60)
     sweep.add_argument("--no-confirm", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
     propagation = subparsers.add_parser(
-        "propagation", help="run the Section 7.2 propagation check"
+        "propagation", parents=[seeded], help="run the Section 7.2 propagation check"
     )
-    propagation.add_argument("--seed", type=int, default=42)
     propagation.set_defaults(func=_cmd_propagation)
 
-    export = subparsers.add_parser("export-mrt", help="write the synthetic dataset as MRT")
+    export = subparsers.add_parser(
+        "export-mrt", parents=[seeded, scaled], help="write the synthetic dataset as MRT"
+    )
     export.add_argument("output")
-    export.add_argument("--seed", type=int, default=42)
-    export.add_argument("--scale", choices=["small", "default", "large"], default="small")
     export.set_defaults(func=_cmd_export_mrt)
     return parser
 

@@ -83,3 +83,7 @@ class AupViolationError(AttackError):
 
 class ProbingError(ReproError):
     """An active-measurement (Atlas-like) operation failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment spec, registry entry, or lifecycle stage is invalid."""

@@ -1,0 +1,53 @@
+"""Built-in experiments that belong to no single attack/wild module.
+
+Currently: the Section 4 measurement report, which drives the synthetic
+dataset pipeline end to end (topology -> collectors -> archive -> every
+table and figure of the paper's measurement study).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.registry import register
+from repro.experiments.runner import Experiment, ExperimentContext
+from repro.experiments.result import ExperimentResult
+
+
+@register("report")
+class ReportExperiment(Experiment):
+    """Generate the synthetic dataset and render the Section 4 report."""
+
+    description = "synthetic dataset + every Section 4 table/figure"
+    paper_section = "Section 4"
+    default_scale = "small"
+
+    def seed(self, ctx: ExperimentContext) -> None:
+        from repro.datasets.synthetic import DatasetParameters, build_default_dataset
+
+        ctx.scratch["dataset"] = build_default_dataset(
+            ctx.require_topology(), DatasetParameters(seed=ctx.spec.seed)
+        )
+
+    def execute(self, ctx: ExperimentContext) -> dict[str, Any]:
+        from repro.measurement.report import MeasurementReport
+        from repro.measurement.propagation import transit_forwarders
+        from repro.measurement.usage import overall_update_community_fraction
+
+        dataset = ctx.scratch["dataset"]
+        report = MeasurementReport(dataset.archive, dataset.topology, dataset.blackhole_list)
+        forwarders = transit_forwarders(dataset.archive)
+        return {
+            "report": report.full_report(),
+            "messages": dataset.message_count(),
+            "unique_communities": len(dataset.archive.unique_communities()),
+            "update_community_fraction": overall_update_community_fraction(dataset.archive),
+            "transit_forwarder_count": forwarders.forwarder_count,
+            "transit_count": forwarders.transit_count,
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict[str, Any]) -> bool:
+        return metrics["messages"] > 0 and metrics["unique_communities"] > 0
+
+    def render_text(self, result: ExperimentResult) -> str:
+        return result.metrics["report"]

@@ -23,6 +23,7 @@ from repro.bgp.community import BLACKHOLE, Community, CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.dataplane.forwarding import DataPlane
 from repro.datasets.giotsas import BlackholeCommunityList
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.probing.atlas import AtlasPlatform
 from repro.routing.engine import BgpSimulator
 from repro.topology.topology import Topology
@@ -191,3 +192,77 @@ class BlackholeSweep:
             second_effective = {o.community for o in second if o.induced_blackholing}
             result.confirmed = first_effective == second_effective
         return result
+
+
+@register("blackhole-sweep")
+class BlackholeSweepExperiment(Experiment):
+    """The Section 7.6 sweep over the verified blackhole community list."""
+
+    description = "automated sweep of the verified blackhole community list"
+    paper_section = "Section 7.6"
+    default_topology = {"tier1_count": 3, "transit_count": 25, "stub_count": 80}
+    default_platforms = ("peering", "atlas")
+    default_params = {
+        "probes": 60,
+        "confirm": True,
+        "include_well_known": True,
+        "inferred_count": 10,
+    }
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        from repro.datasets.giotsas import build_blackhole_list
+
+        blackhole_list = build_blackhole_list(
+            ctx.require_topology(),
+            inferred_count=int(self.param("inferred_count")),
+            seed=ctx.spec.seed,
+        )
+        sweep = BlackholeSweep(
+            ctx.require_topology(),
+            ctx.platform("peering"),
+            ctx.platform("atlas"),
+            blackhole_list,
+            include_well_known=bool(self.param("include_well_known")),
+        )
+        outcome = sweep.run(confirm=bool(self.param("confirm")))
+        ctx.scratch["sweep"] = outcome
+        effective = outcome.effective_communities()
+        return {
+            "communities_swept": len(outcome.outcomes),
+            "effective_communities": len(effective),
+            "effective_fraction": outcome.effective_fraction(),
+            "affected_probes": len(outcome.affected_probes()),
+            "probe_count": outcome.probe_count,
+            "affected_probe_fraction": outcome.affected_probe_fraction(),
+            "confirmed": outcome.confirmed,
+            "direct_peer_pairs": outcome.direct_peer_pairs(),
+            "multi_hop_pairs": outcome.multi_hop_pairs(),
+            "offpath_pairs": outcome.offpath_pairs(),
+            "outcomes": [
+                {
+                    "community": str(o.community),
+                    "target_asn": o.target_asn,
+                    "probes_lost": len(o.probes_lost),
+                    "target_hops": o.target_hops,
+                }
+                for o in effective
+            ],
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        # A requested confirmation pass that disagrees with the first
+        # pass would mean the simulation is not deterministic.
+        return metrics["confirmed"] or not bool(self.param("confirm"))
+
+    def render_text(self, result: ExperimentResult) -> str:
+        metrics = result.metrics
+        return "\n".join(
+            [
+                f"communities swept:        {metrics['communities_swept']}",
+                f"inducing blackholing:     {metrics['effective_communities']}"
+                f" ({100 * metrics['effective_fraction']:.1f}%)",
+                f"vantage points affected:  {metrics['affected_probes']} of "
+                f"{metrics['probe_count']} ({100 * metrics['affected_probe_fraction']:.1f}%)",
+                f"confirmation pass agrees: {metrics['confirmed']}",
+            ]
+        )

@@ -22,6 +22,7 @@ from repro.bgp.community import BLACKHOLE, Community, CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.dataplane.forwarding import DataPlane
 from repro.exceptions import AttackError
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.policy.filters import IrrDatabase
 from repro.probing.atlas import AtlasPlatform
 from repro.probing.looking_glass import LookingGlass
@@ -146,4 +147,94 @@ class RtbhWildExperiment:
             probes_reachable_after=len(after.responsive_probes()),
             probes_lost=lost,
             irr_updated=irr_updated,
+        )
+
+
+@register("rtbh-wild")
+class WildRtbhExperiment(Experiment):
+    """The Section 7.3 RTBH protocol over a generated Internet.
+
+    Builds the topology from the spec, attaches the PEERING-like
+    injection platform and the Atlas probes, then drives
+    :class:`RtbhWildExperiment` end to end.  The hijack variant
+    additionally carves the permissioned hijack space out of the
+    research network's allocation and registers it in the IRR.
+    """
+
+    description = "RTBH from an injection platform over a generated Internet"
+    paper_section = "Section 7.3"
+    default_topology = {"tier1_count": 3, "transit_count": 25, "stub_count": 90}
+    default_platforms = ("peering", "atlas")
+    default_params = {"probes": 100, "hijack": False, "min_hops_to_target": 2}
+
+    @classmethod
+    def default_spec(cls, seed=None, scale=None, **params):
+        """The hijack variant runs from the research network (the only
+        platform whose AUP permits hijacking), and the spec records it."""
+        spec = super().default_spec(seed=seed, scale=scale, **params)
+        if spec.params.get("hijack"):
+            spec = spec.replace(platforms=("research", "atlas"))
+        return spec
+
+    def attach_platform(self, ctx: ExperimentContext, platform_name: str) -> None:
+        if platform_name == "research" and bool(self.param("hijack")):
+            # Attach with the permissioned hijack space the paper had
+            # explicit permission to announce (registered in the IRR later).
+            from repro.wild.peering import attach_research_network
+
+            hijack_space = Prefix.from_string("203.0.112.0/20")
+            ctx.platforms[platform_name] = attach_research_network(
+                ctx.require_topology(), permissioned_hijack_space=hijack_space
+            )
+            ctx.scratch["hijack_space"] = hijack_space
+        else:
+            super().attach_platform(ctx, platform_name)
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        use_hijack = bool(self.param("hijack"))
+        platform = ctx.platform("research" if use_hijack else "peering")
+        experiment = RtbhWildExperiment(
+            ctx.require_topology(),
+            platform,
+            ctx.platform("atlas"),
+            min_hops_to_target=int(self.param("min_hops_to_target")),
+        )
+        outcome = experiment.run(
+            use_hijack=use_hijack, hijack_space=ctx.scratch.get("hijack_space")
+        )
+        ctx.scratch["outcome"] = outcome
+        return {
+            "succeeded": outcome.succeeded,
+            "platform": platform.name,
+            "target_asn": outcome.target_asn,
+            "target_hops_from_injection": outcome.target_hops_from_injection,
+            "attack_prefix": str(outcome.attack_prefix),
+            "hijack": outcome.hijack,
+            "community": str(outcome.community),
+            "accepted_at_target": outcome.accepted_at_target,
+            "target_next_hop": outcome.target_next_hop,
+            "probes_reachable_before": outcome.probes_reachable_before,
+            "probes_reachable_after": outcome.probes_reachable_after,
+            "probes_lost": len(outcome.probes_lost),
+            "irr_updated": outcome.irr_updated,
+        }
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        return bool(metrics["succeeded"])
+
+    def render_text(self, result: ExperimentResult) -> str:
+        metrics = result.metrics
+        return "\n".join(
+            [
+                f"RTBH in the wild from {metrics['platform']}"
+                f" ({'hijack' if metrics['hijack'] else 'no hijack'})",
+                f"  community target:       AS{metrics['target_asn']}"
+                f" ({metrics['target_hops_from_injection']} AS hops away)",
+                f"  blackhole community:    {metrics['community']}",
+                f"  announced prefix:       {metrics['attack_prefix']}",
+                f"  target looking glass:   {metrics['target_next_hop']}",
+                f"  probes reaching before: {metrics['probes_reachable_before']}",
+                f"  probes reaching after:  {metrics['probes_reachable_after']}",
+                f"  attack succeeded:       {metrics['succeeded']}",
+            ]
         )

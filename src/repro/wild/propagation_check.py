@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.bgp.community import Community, CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.collectors.platform import CollectorDeployment
+from repro.experiments import Experiment, ExperimentContext, ExperimentResult, register
 from repro.routing.engine import BgpSimulator
 from repro.topology.topology import Topology
 from repro.wild.peering import InjectionPlatform
@@ -82,3 +83,54 @@ def run_propagation_check(
                 for index in range(0, injection_index):
                     result.forwarding_transit_ases.add(path[index])
     return result
+
+
+@register("propagation-check")
+class PropagationCheckExperiment(Experiment):
+    """The Section 7.2 propagation check, run for both injection platforms."""
+
+    description = "benign-community propagation check from both injection platforms"
+    paper_section = "Section 7.2"
+    default_topology = {"tier1_count": 3, "transit_count": 30, "stub_count": 120}
+    default_platforms = ("peering", "research", "collectors")
+    default_params = {"community_value": BENIGN_COMMUNITY_VALUE}
+
+    def execute(self, ctx: ExperimentContext) -> dict:
+        deployment = ctx.platform("collectors")
+        checks: list[dict] = []
+        # The research network first, then PEERING — the order the paper
+        # (and the legacy CLI subcommand) reports them in.
+        for platform in (ctx.platform("research"), ctx.platform("peering")):
+            check = run_propagation_check(
+                ctx.require_topology(),
+                platform,
+                deployment,
+                community_value=int(self.param("community_value")),
+            )
+            ctx.scratch[platform.name] = check
+            checks.append(
+                {
+                    "platform": check.platform_name,
+                    "benign_community": str(check.benign_community),
+                    "test_prefix": str(check.test_prefix),
+                    "forwarding_count": check.forwarding_count,
+                    "ases_on_paths": len(check.ases_on_paths),
+                    "observing_peers": len(check.observing_peers),
+                    "coverage_fraction": check.coverage_fraction,
+                }
+            )
+        return {"checks": checks}
+
+    def validate(self, ctx: ExperimentContext, metrics: dict) -> bool:
+        # The announced prefix must at least have reached the collectors
+        # from every platform; forwarding zero communities is a finding,
+        # an empty path set is a broken run.
+        return all(check["ases_on_paths"] > 0 for check in metrics["checks"])
+
+    def render_text(self, result: ExperimentResult) -> str:
+        return "\n".join(
+            f"{check['platform']}: benign community {check['benign_community']} on "
+            f"{check['test_prefix']} forwarded by {check['forwarding_count']} transit "
+            f"providers (of {check['ases_on_paths']} on-path ASes)"
+            for check in result.metrics["checks"]
+        )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -45,6 +47,66 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_attacks_accepts_seed(self, capsys):
+        """Every subcommand takes --seed, including attacks (regression)."""
+        parser = build_parser()
+        args = parser.parse_args(["attacks", "--seed", "7"])
+        assert args.seed == 7
+        assert main(["attacks", "--seed", "7"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+
+class TestRegistryCli:
+    def test_list_names_every_experiment(self, capsys):
+        from repro.experiments import available
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in available():
+            assert name in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        assert catalogue["feasibility"]["section"] == "Section 6"
+
+    def test_run_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_feasibility_matches_legacy_attacks_output(self, capsys):
+        """The legacy subcommand is a thin alias: byte-identical output."""
+        assert main(["attacks"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", "feasibility"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_run_propagation_matches_legacy_output(self, capsys):
+        assert main(["propagation", "--seed", "3"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", "propagation-check", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == legacy
+
+    def test_run_json_result_round_trips(self, capsys):
+        from repro.experiments import ExperimentResult
+
+        assert main(["run", "route-manipulation", "--json"]) == 0
+        result = ExperimentResult.from_json(capsys.readouterr().out)
+        assert result.name == "route-manipulation"
+        assert result.status.value == "ok"
+        assert result.metrics["succeeded"] is True
+        assert set(result.timings) == {"build", "attach", "seed", "execute", "validate"}
+
+    def test_run_param_overrides(self, capsys):
+        assert main(["run", "rtbh", "--param", "hijack=true", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["spec"]["params"]["hijack"] is True
+        assert result["metrics"]["details"]["hijack"] is True
+
+    def test_run_bad_param_syntax_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "rtbh", "--param", "hijack"])
 
 
 class TestEndToEnd:

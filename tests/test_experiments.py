@@ -1,0 +1,321 @@
+"""The declarative experiment subsystem: specs, registry, lifecycle, grid."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    LIFECYCLE_STAGES,
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    ExperimentStatus,
+    GridRunner,
+    available,
+    expand_grid,
+    get,
+    register,
+    run_experiment,
+)
+from repro.experiments import registry as registry_module
+
+
+class TestSpec:
+    def test_round_trip(self):
+        spec = ExperimentSpec(
+            name="blackhole-sweep",
+            seed=7,
+            scale="small",
+            topology={"transit_count": 25},
+            platforms=("peering", "atlas"),
+            params={"probes": 30, "confirm": False},
+        )
+        data = spec.to_dict()
+        assert ExperimentSpec.from_dict(data) == spec
+        # The dict form must survive JSON (that is the persistence format).
+        assert ExperimentSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict({"name": "x", "seeds": [1, 2]})
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict({"seed": 1})
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="x", scale="galactic")
+
+    def test_unknown_topology_override_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="x", topology={"tier0_count": 3})
+
+    def test_seed_topology_override_rejected(self):
+        """The seed comes from spec.seed; a duplicate in the overrides would
+        otherwise surface as an uncaught TypeError in build_topology()."""
+        with pytest.raises(ExperimentError, match="seed"):
+            ExperimentSpec(name="x", topology={"seed": 7})
+
+    def test_explicit_scale_replaces_default_topology(self):
+        """An explicitly requested scale must not be masked by the
+        experiment's canonical topology overrides."""
+        cls = get("blackhole-sweep")
+        canonical = cls.default_spec().topology_parameters()
+        assert canonical.transit_count == 25
+        large = cls.default_spec(scale="large").topology_parameters()
+        assert (large.tier1_count, large.transit_count, large.stub_count) == (8, 120, 700)
+
+    def test_topology_parameters_merge_preset_and_overrides(self):
+        spec = ExperimentSpec(name="x", seed=9, scale="small", topology={"transit_count": 33})
+        parameters = spec.topology_parameters()
+        assert parameters.seed == 9
+        assert parameters.tier1_count == 3  # from the small preset
+        assert parameters.transit_count == 33  # override wins
+        assert parameters.stub_count == 80
+
+    def test_build_topology_is_deterministic(self):
+        spec = ExperimentSpec(name="x", seed=5, scale="small")
+        first = spec.build_topology()
+        second = spec.build_topology()
+        assert sorted(a.asn for a in first) == sorted(a.asn for a in second)
+
+    def test_with_params_and_replace(self):
+        spec = ExperimentSpec(name="x", params={"a": 1})
+        updated = spec.with_params(b=2).replace(seed=3)
+        assert updated.params == {"a": 1, "b": 2}
+        assert updated.seed == 3
+        assert spec.params == {"a": 1} and spec.seed == 42  # original untouched
+
+
+class TestResult:
+    def test_json_round_trip(self):
+        result = ExperimentResult(
+            name="x",
+            spec={"name": "x", "seed": 1},
+            status=ExperimentStatus.OK,
+            metrics={"value": 3},
+            timings={"build": 0.5},
+        )
+        loaded = ExperimentResult.from_json(result.to_json())
+        assert loaded == result
+
+    def test_comparable_excludes_timings(self):
+        one = ExperimentResult(name="x", spec={}, metrics={"v": 1}, timings={"build": 1.0})
+        two = ExperimentResult(name="x", spec={}, metrics={"v": 1}, timings={"build": 9.9})
+        assert one.comparable() == two.comparable()
+        assert one.to_dict() != two.to_dict()
+
+    def test_status_semantics(self):
+        assert ExperimentResult(name="x", spec={}).succeeded
+        assert not ExperimentResult(name="x", spec={}, status=ExperimentStatus.FAILED).succeeded
+
+
+class TestRegistry:
+    def test_builtin_experiments_registered(self):
+        names = available()
+        for expected in (
+            "feasibility",
+            "rtbh",
+            "steering",
+            "route-manipulation",
+            "propagation-check",
+            "blackhole-sweep",
+            "rtbh-wild",
+            "report",
+        ):
+            assert expected in names
+
+    def test_get_returns_class_and_sets_name(self):
+        cls = get("feasibility")
+        assert issubclass(cls, Experiment)
+        assert cls.name == "feasibility"
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(ExperimentError, match="available:"):
+            get("definitely-not-registered")
+
+    def test_register_and_run_custom_experiment(self):
+        @register("test-custom")
+        class CustomExperiment(Experiment):
+            description = "unit-test experiment"
+            default_params = {"value": 0}
+
+            def execute(self, ctx):
+                return {"answer": ctx.spec.params["value"] * 2}
+
+        try:
+            spec = CustomExperiment.default_spec(value=21)
+            result = run_experiment(spec)
+            assert result.status is ExperimentStatus.OK
+            assert result.metrics == {"answer": 42}
+        finally:
+            del registry_module._REGISTRY["test-custom"]
+
+    def test_duplicate_name_rejected(self):
+        @register("test-duplicate")
+        class FirstExperiment(Experiment):
+            def execute(self, ctx):
+                return {}
+
+        try:
+            with pytest.raises(ExperimentError, match="already registered"):
+                @register("test-duplicate")
+                class SecondExperiment(Experiment):
+                    def execute(self, ctx):
+                        return {}
+        finally:
+            del registry_module._REGISTRY["test-duplicate"]
+
+
+class TestLifecycle:
+    def test_every_stage_timed(self):
+        cls = get("route-manipulation")
+        result = cls(cls.default_spec()).run()
+        assert result.status is ExperimentStatus.OK
+        assert set(result.timings) == set(LIFECYCLE_STAGES)
+        assert all(timing >= 0 for timing in result.timings.values())
+
+    def test_spec_name_mismatch_rejected(self):
+        cls = get("rtbh")
+        with pytest.raises(ExperimentError):
+            cls(ExperimentSpec(name="feasibility"))
+
+    def test_feasibility_metrics_match_direct_run(self):
+        from repro.attacks.feasibility import build_feasibility_matrix
+
+        cls = get("feasibility")
+        experiment = cls(cls.default_spec(seed=5))
+        result = experiment.run()
+        matrix = build_feasibility_matrix(seed=5)
+        assert result.metrics["seed"] == 5
+        assert result.metrics["row_count"] == len(matrix.rows) == 8
+        assert [row["difficulty"] for row in result.metrics["rows"]] == [
+            row.difficulty.value for row in matrix.rows
+        ]
+        # The rendered text is byte-identical to the direct Table 3 render.
+        assert experiment.render_text(result) == matrix.to_table().render()
+
+    def test_validation_failure_is_failed_status(self):
+        @register("test-failing")
+        class FailingExperiment(Experiment):
+            def execute(self, ctx):
+                return {"ok": False}
+
+            def validate(self, ctx, metrics):
+                return False
+
+        try:
+            result = run_experiment(FailingExperiment.default_spec())
+            assert result.status is ExperimentStatus.FAILED
+            assert not result.succeeded
+        finally:
+            del registry_module._REGISTRY["test-failing"]
+
+    def test_library_error_is_captured_as_error_status(self):
+        @register("test-erroring")
+        class ErroringExperiment(Experiment):
+            def execute(self, ctx):
+                raise ExperimentError("boom")
+
+        try:
+            result = run_experiment(ErroringExperiment.default_spec())
+            assert result.status is ExperimentStatus.ERROR
+            assert "boom" in result.error
+            assert result.metrics == {}
+        finally:
+            del registry_module._REGISTRY["test-erroring"]
+
+    def test_unknown_param_rejected(self):
+        """A typo'd parameter must not silently run the default variant."""
+        with pytest.raises(ExperimentError, match="hijakc"):
+            get("rtbh").default_spec(hijakc=True)
+
+    def test_hijack_spec_records_research_platform(self):
+        """The replayable spec must name the platforms actually attached."""
+        cls = get("rtbh-wild")
+        assert cls.default_spec().platforms == ("peering", "atlas")
+        assert cls.default_spec(hijack=True).platforms == ("research", "atlas")
+
+    def test_canonical_experiments_reject_scale(self):
+        """Figure-topology experiments fail loudly instead of recording a
+        scale that never influenced the outcome."""
+        for name in ("feasibility", "rtbh", "steering", "route-manipulation"):
+            cls = get(name)
+            result = run_experiment(cls.default_spec(scale="small"))
+            assert result.status is ExperimentStatus.ERROR, name
+            assert "canonical paper topology" in result.error
+
+    def test_rtbh_hijack_param(self):
+        cls = get("rtbh")
+        result = run_experiment(cls.default_spec(hijack=True))
+        assert result.status is ExperimentStatus.OK
+        assert result.metrics["details"]["hijack"] is True
+        assert result.metrics["attack_prefix"].endswith("/32")
+
+    def test_steering_variants(self):
+        cls = get("steering")
+        both = run_experiment(cls.default_spec())
+        assert set(both.metrics["variants"]) == {"prepend", "local-pref"}
+        single = run_experiment(cls.default_spec(variant="local-pref"))
+        assert set(single.metrics["variants"]) == {"local-pref"}
+        bad = run_experiment(cls.default_spec(variant="teleport"))
+        assert bad.status is ExperimentStatus.ERROR
+
+    def test_results_serialize_for_replay(self):
+        """Acceptance: registry -> spec -> result -> to_json for every scenario."""
+        for name, params in [
+            ("feasibility", {}),
+            ("rtbh", {}),
+            ("steering", {}),
+            ("route-manipulation", {}),
+        ]:
+            cls = get(name)
+            result = run_experiment(cls.default_spec(**params))
+            assert result.status is ExperimentStatus.OK, name
+            replayed = ExperimentResult.from_json(result.to_json())
+            assert replayed.comparable() == result.comparable()
+
+
+class TestGrid:
+    def test_expand_grid_is_deterministic_and_ordered(self):
+        specs = expand_grid(
+            "route-manipulation",
+            seeds=(1, 2),
+            param_grid={"member_count": [4, 6]},
+        )
+        assert [spec.seed for spec in specs] == [1, 1, 2, 2]
+        assert [spec.params["member_count"] for spec in specs] == [4, 6, 4, 6]
+        assert specs == expand_grid(
+            "route-manipulation", seeds=(1, 2), param_grid={"member_count": [4, 6]}
+        )
+
+    def test_parallel_equals_sequential(self):
+        """Acceptance: a >=4-seed grid is identical parallel vs sequential."""
+        specs = expand_grid("route-manipulation", seeds=(1, 2, 3, 4))
+        runner = GridRunner(max_workers=2)
+        sequential = runner.run_sequential(specs)
+        parallel = runner.run(specs)
+        assert [result.comparable() for result in sequential] == [
+            result.comparable() for result in parallel
+        ]
+        assert [result.spec["seed"] for result in parallel] == [1, 2, 3, 4]
+
+    def test_single_spec_grid_runs_in_process(self):
+        specs = expand_grid("feasibility", seeds=(3,))
+        results = GridRunner().run(specs)
+        assert len(results) == 1 and results[0].status is ExperimentStatus.OK
+        assert results[0].metrics["seed"] == 3
+
+    def test_grid_survives_erroring_cells(self):
+        specs = expand_grid("steering", seeds=(1, 2), param_grid={"variant": ["prepend", "bogus"]})
+        results = GridRunner(max_workers=2).run(specs)
+        assert [result.status for result in results] == [
+            ExperimentStatus.OK,
+            ExperimentStatus.ERROR,
+            ExperimentStatus.OK,
+            ExperimentStatus.ERROR,
+        ]
