@@ -15,6 +15,7 @@ routes on the way).
 from __future__ import annotations
 
 import gc
+import os
 import time
 
 from repro.bgp.prefix import Prefix
@@ -22,12 +23,17 @@ from repro.dataplane.forwarding import DataPlane
 from repro.routing.engine import BgpSimulator
 from repro.topology.generator import TopologyGenerator, TopologyParameters
 
-PREFIX_COUNT = 1_000
+#: Quick mode (REPRO_BENCH_QUICK set to anything but ""/"0"): a tiny
+#: topology and batch so CI can smoke-test the harness without paying
+#: the full measurement.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+PREFIX_COUNT = 128 if QUICK else 1_000
 
 BENCH_PARAMETERS = TopologyParameters(
     tier1_count=3,
-    transit_count=20,
-    stub_count=80,
+    transit_count=5 if QUICK else 20,
+    stub_count=16 if QUICK else 80,
     ixp_count=0,
     seed=42,
 )
@@ -45,7 +51,7 @@ def _events(topology) -> list[tuple[int, Prefix]]:
 
 def _run_sequential(topology, events) -> tuple[BgpSimulator, DataPlane]:
     """The pre-batch pattern: one announce() and one FIB patch per prefix."""
-    simulator = BgpSimulator(topology)
+    simulator = BgpSimulator(topology, shards=1)
     dataplane = DataPlane(simulator)
     for origin_asn, prefix in events:
         dataplane.rebuild(simulator.announce(origin_asn, prefix))
@@ -53,8 +59,13 @@ def _run_sequential(topology, events) -> tuple[BgpSimulator, DataPlane]:
 
 
 def _run_batched(topology, events) -> tuple[BgpSimulator, DataPlane]:
-    """One shared worklist pass plus one incremental FIB patch."""
-    simulator = BgpSimulator(topology)
+    """One shared worklist pass plus one incremental FIB patch.
+
+    Pinned to ``shards=1``: this benchmark measures the single-process
+    batch engine (``bench_sharded_propagation.py`` measures the sharded
+    layer on top of it).
+    """
+    simulator = BgpSimulator(topology, shards=1)
     dataplane = DataPlane(simulator)
     dataplane.rebuild(simulator.announce_many(events))
     return simulator, dataplane
@@ -112,8 +123,11 @@ def test_batched_announcement_faster_than_sequential_loop(benchmark):
     )
     # The batch pass shares one worklist and one export memo across all
     # prefixes; ~1.2-1.5x is typical on an idle machine.  Only the
-    # ordering is asserted so a loaded CI box cannot flake the gate.
-    assert batched_seconds < sequential_seconds, (
-        f"batched propagation ({batched_seconds:.2f} s) should beat the "
-        f"sequential loop ({sequential_seconds:.2f} s)"
-    )
+    # ordering is asserted so a loaded CI box cannot flake the gate —
+    # and not at all in quick mode, whose millisecond-scale runs are
+    # pure scheduler noise (the CI smoke job only checks the harness).
+    if not QUICK:
+        assert batched_seconds < sequential_seconds, (
+            f"batched propagation ({batched_seconds:.2f} s) should beat the "
+            f"sequential loop ({sequential_seconds:.2f} s)"
+        )

@@ -120,14 +120,25 @@ def _grade(gates: list[str]) -> Difficulty:
     return Difficulty.EASY
 
 
-def build_feasibility_matrix(seed: int = 42) -> FeasibilityMatrix:
+def build_feasibility_matrix(
+    seed: int = 42, shards: int | str | None = None
+) -> FeasibilityMatrix:
     """Run every scenario variant and assemble Table 3.
 
     The canonical Figure 2/7/8(b)/9 topologies are fully deterministic,
     so the seed does not perturb the outcome — it is threaded through and
     recorded on the matrix so feasibility runs carry the same
-    reproducibility contract as every other experiment.
+    reproducibility contract as every other experiment.  ``shards`` sets
+    the propagation shard policy for every simulator the scenarios build
+    (None = the process default; the outcome is shard-count independent).
     """
+    from repro.routing.engine import propagation_shards
+
+    with propagation_shards(shards):
+        return _build_feasibility_matrix(seed)
+
+
+def _build_feasibility_matrix(seed: int) -> FeasibilityMatrix:
     matrix = FeasibilityMatrix(seed=seed)
 
     # ----------------------------------------------------------- blackholing
@@ -243,6 +254,8 @@ class FeasibilityExperiment(Experiment):
         self.reject_topology_spec(ctx)
 
     def execute(self, ctx: ExperimentContext) -> dict:
+        # The lifecycle driver already scoped the spec's shard policy as
+        # the process default, so the matrix builder inherits it.
         matrix = build_feasibility_matrix(seed=ctx.spec.seed)
         ctx.scratch["matrix"] = matrix
         rows = [

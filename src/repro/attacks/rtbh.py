@@ -72,6 +72,31 @@ class RtbhAttack:
             return self.victim_prefix.subprefix(32, 1)
         return self.victim_prefix
 
+    def _hijack_overlap(self, attack_prefix: Prefix) -> dict:
+        """Who the hijack actually collides with, via the topology's origin trie.
+
+        ``covering`` yields the registered allocations the attack prefix
+        sits inside (the most specific one is the legitimate origin the
+        IRR would name); ``covered`` yields any more-specific
+        registrations the announcement would mask.  Both walk the
+        cached :meth:`Topology.origin_table` instead of scanning every
+        AS's prefix list.
+        """
+        table = self.topology.origin_table()
+        covering = table.covering(attack_prefix)
+        covered = table.covered(attack_prefix)
+        overlapping = sorted({asn for _, asn in covering} | {asn for _, asn in covered})
+        legitimate = covering[-1][1] if covering else None
+        return {
+            "legitimate_origin": legitimate,
+            "overlapping_origins": overlapping,
+            "is_hijack_of_registered_space": bool(
+                self.use_hijack
+                and overlapping
+                and overlapping != [self.roles.attacker_asn]
+            ),
+        }
+
     def _vantage_points(self, explicit: list[int] | None) -> list[int]:
         if explicit is not None:
             return explicit
@@ -148,6 +173,7 @@ class RtbhAttack:
                 "hijack": self.use_hijack,
                 "target_drops_traffic": target_drops,
                 "vantage_points": len(vantage_points),
+                **self._hijack_overlap(attack_prefix),
             },
             blackholed_at=blackholed_at,
             unreachable_from=unreachable_from,

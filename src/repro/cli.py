@@ -85,6 +85,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ExperimentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.output:
+        from repro.experiments import write_results
+
+        write_results(args.output, [result])
     return _print_outcome(experiment, result, as_json=args.json)
 
 
@@ -175,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment parameter override (repeatable; value parsed as JSON)",
     )
     run.add_argument("--json", action="store_true", help="print the serializable result")
+    run.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the result to FILE as JSON lines (replay with experiments.load_results)",
+    )
     run.set_defaults(func=_cmd_run)
 
     listing = subparsers.add_parser("list", help="list the registered experiments")

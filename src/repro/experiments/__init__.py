@@ -23,7 +23,13 @@ Quickstart::
     print(result.to_json(indent=2))   # persist for replay
 """
 
-from repro.experiments.grid import GridRunner, expand_grid
+from repro.experiments.grid import (
+    GridRunner,
+    expand_grid,
+    load_results,
+    worker_budget,
+    write_results,
+)
 from repro.experiments.registry import available, get, register, run_experiment
 from repro.experiments.result import ExperimentResult, ExperimentStatus
 from repro.experiments.runner import (
@@ -45,6 +51,9 @@ __all__ = [
     "available",
     "expand_grid",
     "get",
+    "load_results",
     "register",
     "run_experiment",
+    "worker_budget",
+    "write_results",
 ]

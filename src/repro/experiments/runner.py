@@ -76,8 +76,9 @@ class Experiment:
     default_topology: ClassVar[dict[str, Any]] = {}
     default_platforms: ClassVar[tuple[str, ...]] = ()
     default_params: ClassVar[dict[str, Any]] = {}
-    #: Parameters accepted beyond ``default_params`` (attach-time knobs).
-    optional_params: ClassVar[tuple[str, ...]] = ("upstream_count",)
+    #: Parameters accepted beyond ``default_params`` (attach-time knobs,
+    #: plus the propagation shard policy every experiment inherits).
+    optional_params: ClassVar[tuple[str, ...]] = ("upstream_count", "shards")
 
     def __init__(self, spec: ExperimentSpec):
         if spec.name != self.name:
@@ -201,13 +202,32 @@ class Experiment:
         """
 
     def seed_originated(self, ctx: ExperimentContext):
-        """Batch-announce every originated prefix; returns the simulator."""
+        """Batch-announce every originated prefix; returns the simulator.
+
+        The simulator inherits the spec's ``shards`` parameter through
+        the process default :meth:`run` scopes for the lifecycle, so
+        pre-seeding a large topology — the heaviest single ``apply``
+        most experiments run — is the first call site to go parallel
+        when sharding is enabled.
+        """
         from repro.routing.engine import BgpSimulator
 
         simulator = BgpSimulator(ctx.require_topology())
         ctx.scratch["seed_report"] = simulator.announce_originated()
         ctx.scratch["simulator"] = simulator
         return simulator
+
+    def propagation_shards(self) -> int | str | None:
+        """The spec's propagation shard policy (None = process default)."""
+        value = self.param("shards")
+        if value is None or value == "auto":
+            return value
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ExperimentError(
+                f"experiment parameter 'shards' must be an integer or 'auto', got {value!r}"
+            ) from None
 
     def execute(self, ctx: ExperimentContext) -> dict[str, Any]:
         """Run the experiment; returns the JSON-safe metrics dict."""
@@ -230,26 +250,35 @@ class Experiment:
     def run(self) -> ExperimentResult:
         """Drive the five lifecycle stages, timing each one.
 
+        A ``shards`` spec parameter becomes the process-default
+        propagation policy for the duration of the run, so *every*
+        simulator the experiment builds — pre-seeding, per-scenario
+        baselines, sweep iterations — inherits it without each call
+        site threading a parameter.
+
         Exceptions from the repro library are captured as
         ``status="error"`` results (so one bad grid cell never kills the
         batch); anything else propagates.
         """
+        from repro.routing.engine import propagation_shards
+
         ctx = self.context
         timings: dict[str, float] = {}
         metrics: dict[str, Any] = {}
         status = ExperimentStatus.OK
         error: str | None = None
         try:
-            for stage in ("build", "attach", "seed"):
+            with propagation_shards(self.propagation_shards()):
+                for stage in ("build", "attach", "seed"):
+                    started = time.perf_counter()
+                    getattr(self, stage)(ctx)
+                    timings[stage] = time.perf_counter() - started
                 started = time.perf_counter()
-                getattr(self, stage)(ctx)
-                timings[stage] = time.perf_counter() - started
-            started = time.perf_counter()
-            metrics = self.execute(ctx) or {}
-            timings["execute"] = time.perf_counter() - started
-            started = time.perf_counter()
-            accepted = self.validate(ctx, metrics)
-            timings["validate"] = time.perf_counter() - started
+                metrics = self.execute(ctx) or {}
+                timings["execute"] = time.perf_counter() - started
+                started = time.perf_counter()
+                accepted = self.validate(ctx, metrics)
+                timings["validate"] = time.perf_counter() - started
             if not accepted:
                 status = ExperimentStatus.FAILED
         except ReproError as exc:

@@ -281,6 +281,30 @@ class RadixTrie:
         return self.get(prefix, sentinel) is not sentinel
 
 
+def cached_table(
+    cache: "tuple[Any, LpmTable] | None",
+    fingerprint: Any,
+    items: "Iterator[tuple[Prefix, Any]] | Any",
+) -> "tuple[tuple[Any, LpmTable], LpmTable]":
+    """Reuse (or rebuild) a fingerprint-invalidated cached :class:`LpmTable`.
+
+    The shared pattern behind every derived prefix-ownership trie
+    (:meth:`Topology.origin_table`, :meth:`AutonomousSystem.originates`,
+    :meth:`InjectionPlatform.owns`): the caller computes a content
+    fingerprint of its source collection, and the table is rebuilt from
+    ``items`` (an iterable of ``(prefix, value)``) only when the
+    fingerprint changed.  Returns ``(new_cache, table)``; the caller
+    stores ``new_cache`` back into its cache slot.
+    """
+    if cache is not None and cache[0] == fingerprint:
+        return cache, cache[1]
+    table = LpmTable()
+    for prefix, value in items:
+        table.insert(prefix, value)
+    cache = (fingerprint, table)
+    return cache, table
+
+
 class LpmTable:
     """A family-safe LPM table: one :class:`RadixTrie` per address family.
 

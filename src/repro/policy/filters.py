@@ -35,6 +35,16 @@ class PrefixFilter:
         """Return whether an announcement of ``prefix`` from ``origin_asn`` is accepted."""
         raise NotImplementedError
 
+    def prefix_scoped(self) -> bool:
+        """True when a decision can depend on the concrete network bits.
+
+        Conservative default: unknown filter subclasses are assumed to
+        read the network, which disables the batch import memo for
+        chains using them.  Filters that only look at the prefix's
+        shape (family, length, blackhole tag) override this to False.
+        """
+        return True
+
 
 @dataclass
 class MaxPrefixLengthFilter(PrefixFilter):
@@ -59,6 +69,10 @@ class MaxPrefixLengthFilter(PrefixFilter):
         if prefix.is_ipv6:
             return (self.max_length_v6, self.max_blackhole_length_v6, self.min_blackhole_length_v6)
         return (self.max_length, self.max_blackhole_length, self.min_blackhole_length)
+
+    def prefix_scoped(self) -> bool:
+        """Length limits read only (family, length, blackhole tag) — memo-safe."""
+        return False
 
     def evaluate(self, prefix: Prefix, origin_asn: int, is_blackhole: bool) -> FilterDecision:
         max_length, max_blackhole, min_blackhole = self._limits(prefix)
@@ -158,6 +172,22 @@ class InboundFilterChain:
     irr: IrrDatabase | None = None
     validate_origin: bool = False
     blackhole_before_validation: bool = False
+
+    def prefix_scoped(self) -> bool:
+        """True when a decision can depend on the concrete network bits.
+
+        The stock length filter only looks at ``(family, length,
+        blackhole tag)``, so its outcome is shared by every prefix with
+        the same shape — which is what lets the router memoise the
+        import pipeline across a batch.  IRR origin validation matches
+        the registry against the full prefix, so a chain running it is
+        never memoised by shape alone; the same question is delegated
+        to the prefix filter itself (unknown subclasses answer True,
+        disabling the memo conservatively).
+        """
+        if self.validate_origin and self.irr is not None:
+            return True
+        return self.prefix_filter.prefix_scoped()
 
     def evaluate(
         self, prefix: Prefix, origin_asn: int, is_blackhole: bool

@@ -6,9 +6,13 @@ from repro.routing.engine import (
     BgpSimulator,
     RoutingEvent,
     SimulationReport,
+    default_shards,
     origination_events,
+    propagation_shards,
+    set_default_shards,
 )
 from repro.routing.route_server import RouteServer, RouteServerDecision
+from repro.routing.shard import ShardPool, partition_events, shard_worker_budget, stable_shard
 
 __all__ = [
     "best_path",
@@ -18,7 +22,14 @@ __all__ = [
     "BgpSimulator",
     "RoutingEvent",
     "SimulationReport",
+    "ShardPool",
+    "default_shards",
     "origination_events",
+    "partition_events",
+    "propagation_shards",
+    "set_default_shards",
+    "shard_worker_budget",
+    "stable_shard",
     "RouteServer",
     "RouteServerDecision",
 ]

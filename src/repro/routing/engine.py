@@ -39,13 +39,38 @@ lists; ``announce_originated`` seeds the simulation with every prefix
 the topology records as owned — the pattern the RTBH sweeps, steering
 experiments and dataset generators use to pre-load thousands of
 originations without N independent BFS runs.
+
+Sharded execution
+-----------------
+
+The per-(router, prefix) worklist partitions *exactly* by prefix (a
+pair only ever enqueues pairs of the same prefix), so ``apply`` is
+layered as a scheduler over a pure per-shard core:
+
+* ``_apply_local`` seeds and converges a list of events entirely
+  in-process — one export memo and one import memo scoped to the call,
+  which is what makes the core safe to run per shard;
+* with ``shards`` > 1 the batch is partitioned by a stable hash of
+  ``(family, network, length)`` into K shards, each driven by
+  ``_apply_local`` in a worker process of a fork-once pool that holds a
+  pickled topology snapshot (see :mod:`repro.routing.shard`), and the
+  per-shard :class:`SimulationReport`\\ s plus Loc-RIB/Adj-RIB-In deltas
+  are merged back so the parent ends up byte-identical to a sequential
+  run — incremental :meth:`DataPlane.rebuild` works unchanged;
+* ``shards="auto"`` (the process default, see
+  :func:`propagation_shards`) goes parallel only for batches of at
+  least :data:`AUTO_SHARD_MIN_PREFIXES` distinct prefixes and only when
+  the CPU budget covers :data:`AUTO_SHARD_MIN_BUDGET` workers.
 """
 
 from __future__ import annotations
 
+import contextlib
+import pickle
+import weakref
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
@@ -53,6 +78,64 @@ from repro.exceptions import ConvergenceError, RoutingError
 from repro.routing.router import Router
 from repro.topology.relationships import Relationship
 from repro.topology.topology import Topology
+
+#: Below this many distinct prefixes in one batch, ``shards="auto"``
+#: stays sequential: worker start-up and state shipping would eat the
+#: parallel win on small batches.
+AUTO_SHARD_MIN_PREFIXES = 256
+
+#: Upper bound "auto" places on the shard count (explicit integers are
+#: honoured as given; the worker *pool* is still capped by the CPU
+#: budget, see :func:`repro.routing.shard.shard_worker_budget`).
+AUTO_SHARD_MAX = 8
+
+#: Minimum CPU budget before "auto" goes parallel.  The merge has a
+#: serial state-shipping tail, so (as the sharded benchmark's own gate
+#: records) the win needs real cores — on 2-3 CPU hosts "auto" stays
+#: with the in-process core; explicit ``shards=K`` remains honoured.
+AUTO_SHARD_MIN_BUDGET = 4
+
+#: The process-wide default scheduling policy applied when a simulator
+#: is built without an explicit ``shards`` argument.  See
+#: :func:`propagation_shards`.
+_DEFAULT_SHARDS: int | str = "auto"
+
+
+def default_shards() -> int | str:
+    """The current process-wide default for ``BgpSimulator(shards=...)``."""
+    return _DEFAULT_SHARDS
+
+
+def set_default_shards(value: int | str) -> int | str:
+    """Set the process-wide default shard policy; returns the previous one.
+
+    ``value`` is either a shard count (1 disables sharding) or
+    ``"auto"`` (shard large batches across the available CPU budget).
+    The experiment runner uses this — via :func:`propagation_shards` —
+    to thread a spec's ``shards`` parameter into every simulator an
+    experiment builds, without each call site growing a parameter.
+    """
+    global _DEFAULT_SHARDS
+    previous = _DEFAULT_SHARDS
+    _DEFAULT_SHARDS = value
+    return previous
+
+
+@contextlib.contextmanager
+def propagation_shards(value: int | str | None) -> Iterator[None]:
+    """Scoped override of the default shard policy (restores on exit).
+
+    ``None`` is a no-op scope — callers threading an optional policy can
+    always write ``with propagation_shards(maybe_shards):``.
+    """
+    if value is None:
+        yield
+        return
+    previous = set_default_shards(value)
+    try:
+        yield
+    finally:
+        set_default_shards(previous)
 
 
 @dataclass(frozen=True)
@@ -108,6 +191,17 @@ def origination_events(topology: Topology) -> list[RoutingEvent]:
     return [RoutingEvent(origin_asn=asn, prefix=prefix) for prefix, asn in originations]
 
 
+def _distinct_prefixes(events: Iterable[RoutingEvent]) -> list[Prefix]:
+    """The distinct prefixes of ``events`` in first-seen order."""
+    seen: set[Prefix] = set()
+    prefixes: list[Prefix] = []
+    for event in events:
+        if event.prefix not in seen:
+            seen.add(event.prefix)
+            prefixes.append(event.prefix)
+    return prefixes
+
+
 @dataclass
 class SimulationReport:
     """Book-keeping of one simulation run."""
@@ -134,19 +228,56 @@ class SimulationReport:
 
 
 class BgpSimulator:
-    """Builds one :class:`Router` per AS and propagates announcements to convergence."""
+    """Builds one :class:`Router` per AS and propagates announcements to convergence.
 
-    def __init__(self, topology: Topology, max_rounds: int = 1000):
+    ``shards`` selects the execution policy for :meth:`apply`: ``1``
+    forces the in-process core, an integer K partitions every batch
+    into K prefix shards driven by worker processes, and ``"auto"``
+    (inherited from :func:`default_shards` when None) shards only
+    batches large enough to pay for the pool.  ``max_workers`` caps the
+    worker pool (default: the CPU budget, see
+    :func:`repro.routing.shard.shard_worker_budget`).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        max_rounds: int = 1000,
+        shards: int | str | None = None,
+        max_workers: int | None = None,
+    ):
         self.topology = topology
         self.max_rounds = max_rounds
+        self.shards = shards
+        self.max_workers = max_workers
         self.routers: dict[int, Router] = {}
         self.report = SimulationReport()
+        #: Every router that ever held any state (origination, Adj-RIB-In
+        #: entry, best route) for a prefix — the exact set of routers whose
+        #: per-prefix state must travel to/from a shard worker.  Maintained
+        #: by the engine; grows monotonically (like ``report``).
+        self._prefix_holders: dict[Prefix, set[int]] = {}
+        #: The (prefix -> routers) pairs touched by the most recent
+        #: ``_apply_local`` call only.  A shard worker returns state for
+        #: exactly these pairs: anything it did not touch is still
+        #: byte-identical in the parent, so shipping it back would be
+        #: pure serialization overhead.
+        self._last_touched: dict[Prefix, set[int]] = {}
+        self._shard_pool = None
+        self._pool_finalizer: weakref.finalize | None = None
         for asys in topology:
             relationships = {
                 neighbor: topology.relationship(asys.asn, neighbor)
                 for neighbor in topology.neighbors(asys.asn)
             }
             self.routers[asys.asn] = Router(asys, relationships)
+
+    def close(self) -> None:
+        """Shut down the shard worker pool (idempotent; also runs on GC)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()
+            self._pool_finalizer = None
+        self._shard_pool = None
 
     def router(self, asn: int) -> Router:
         """Return the router of ``asn``."""
@@ -233,13 +364,17 @@ class BgpSimulator:
         )
 
     # -------------------------------------------------------------- propagation
-    def apply(self, events: Iterable[RoutingEvent]) -> SimulationReport:
+    def apply(
+        self, events: Iterable[RoutingEvent], shards: int | str | None = None
+    ) -> SimulationReport:
         """Apply a batch of origination events and converge them in one pass.
 
-        All originations/withdrawals touch their origin routers first;
-        the affected ``(router, prefix)`` pairs then seed one shared,
-        deduplicated worklist (see the module docstring for the exact
-        semantics).  Returns the merged report of the whole batch.
+        This is the scheduler layer: it validates the batch, decides
+        between the in-process core and sharded multi-process execution
+        (``shards`` overrides the simulator-level policy for this call),
+        runs it, and folds the outcome into the cumulative report.  The
+        converged state — Loc-RIBs, FIBs after ``rebuild``, merged
+        ``dirty`` maps — is identical whichever path ran.
 
         The batch is validated up front — a malformed event or unknown
         origin ASN raises before any router state changes, so a failing
@@ -248,11 +383,48 @@ class BgpSimulator:
         events = list(events)
         for event in events:
             self.router(event.origin_asn)
+        shard_count = self._resolve_shards(shards, len({e.prefix for e in events}))
+        if shard_count <= 1:
+            report = self._apply_local(events)
+        else:
+            report = self._apply_sharded(events, shard_count)
+        self.report.merge(report)
+        return report
+
+    def _resolve_shards(self, override: int | str | None, prefix_count: int) -> int:
+        """Turn the shards policy into a concrete shard count for one batch."""
+        value = override if override is not None else self.shards
+        if value is None:
+            value = default_shards()
+        if value is None or value == 1 or prefix_count <= 1:
+            return 1
+        if value == "auto":
+            from repro.routing.shard import shard_worker_budget
+
+            budget = self.max_workers if self.max_workers is not None else shard_worker_budget()
+            if prefix_count < AUTO_SHARD_MIN_PREFIXES or budget < AUTO_SHARD_MIN_BUDGET:
+                return 1
+            return min(AUTO_SHARD_MAX, budget, prefix_count)
+        count = int(value)
+        if count <= 1:
+            return 1
+        # Never cut more shards than there are prefixes: the surplus
+        # shards would be empty and would only spawn idle workers.
+        return min(count, prefix_count)
+
+    def _apply_local(self, events: list[RoutingEvent]) -> SimulationReport:
+        """The pure per-shard core: seed and converge ``events`` in-process.
+
+        Runs unchanged in the parent (sequential execution) and inside
+        shard workers; both memos — export-side and import-side — are
+        scoped to this call, i.e. per shard.
+        """
         report = SimulationReport()
+        self._last_touched = {}
         # Seed origins grouped per prefix, in first-seen prefix order.
-        # All events are applied to their origin routers *before* any
-        # propagation, so a batch is a net state change (an announce
-        # followed by a withdraw of the same prefix cancels out).
+        # All of a prefix's events are applied to their origin routers
+        # *before* it propagates, so a batch is a net state change (an
+        # announce followed by a withdraw of the same prefix cancels out).
         seeds: dict[Prefix, list[int]] = {}
         for event in events:
             router = self.router(event.origin_asn)
@@ -278,14 +450,75 @@ class BgpSimulator:
         # imports in the same per-prefix order, same report) but keeps
         # each prefix's working set hot instead of cycling through
         # every prefix's RIB entries breadth-first.
-        # Batch-scoped export memo: outbound attributes depend on the best
-        # route minus its prefix, so prefixes sharing attributes pay the
-        # export rewrite once (see :meth:`Router.export_to`).
+        # Batch-scoped memos: outbound attributes depend on the best route
+        # minus its prefix and imported attributes on the inbound ones
+        # minus the prefix, so prefixes sharing attributes pay the export
+        # rewrite and the import filter/action chain once (see
+        # :meth:`Router.export_to` / :meth:`Router.import_announcement`).
         export_cache: dict = {}
+        import_cache: dict = {}
         for prefix, origins in seeds.items():
-            self._drive_prefix(report, prefix, origins, export_cache)
-        self.report.merge(report)
+            self._drive_prefix(report, prefix, origins, export_cache, import_cache)
         return report
+
+    def _apply_sharded(
+        self, events: list[RoutingEvent], shard_count: int
+    ) -> SimulationReport:
+        """Partition the batch by prefix and converge the shards in workers.
+
+        Each worker receives its shard's events plus the parent's
+        current state for exactly those prefixes, runs the same
+        ``_apply_local`` core, and sends back its report and the
+        resulting per-prefix state; the merge replays that state onto
+        the parent routers.  All results are materialised before any
+        merge, so a failing shard leaves the parent untouched.
+        """
+        from repro.routing import shard as shard_module
+
+        groups = shard_module.partition_events(events, shard_count)
+        pool = self._ensure_pool(len(groups))
+        additions = {
+            asn: dict(router.export_community_additions)
+            for asn, router in self.routers.items()
+            if router.export_community_additions
+        }
+        tasks = []
+        stale: set[Prefix] = set()
+        for _index, shard_events in groups:
+            prefixes = _distinct_prefixes(shard_events)
+            stale.update(p for p in prefixes if self._prefix_holders.get(p))
+            states = shard_module.capture_prefix_state(self, prefixes)
+            tasks.append((shard_events, states, additions))
+        outcomes = pool.run(tasks)
+        report = SimulationReport()
+        stale = frozenset(stale)
+        for worker_report, deltas in outcomes:
+            shard_module.install_prefix_state(self, deltas, stale=stale)
+            report.merge(worker_report)
+        return report
+
+    def _ensure_pool(self, wanted_workers: int):
+        """The fork-once worker pool, grown (rebuilt) when a batch needs more."""
+        from repro.routing.shard import ShardPool, shard_worker_budget
+
+        limit = self.max_workers if self.max_workers is not None else shard_worker_budget()
+        workers = max(1, min(wanted_workers, limit))
+        pool = self._shard_pool
+        if pool is not None and pool.workers < workers:
+            self.close()
+            pool = None
+        if pool is None:
+            from repro.routing.shard import capture_router_config
+
+            payload = pickle.dumps(
+                (self.topology, capture_router_config(self)),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            pool = ShardPool(payload, max_rounds=self.max_rounds, workers=workers)
+            self._shard_pool = pool
+            # GC of the simulator must not leak worker processes.
+            self._pool_finalizer = weakref.finalize(self, ShardPool.shutdown, pool)
+        return pool
 
     def _drive_prefix(
         self,
@@ -293,6 +526,7 @@ class BgpSimulator:
         prefix: Prefix,
         origins: list[int],
         export_cache: dict | None = None,
+        import_cache: dict | None = None,
     ) -> None:
         """Converge one prefix's worklist partition (seeded at ``origins``).
 
@@ -305,6 +539,12 @@ class BgpSimulator:
         still queued are never exported at all.
         """
         routers = self.routers
+        # Holder tracking: every router this pass enqueues is a router
+        # whose state for the prefix may now differ from "empty" — the
+        # set a shard worker must receive; ``_last_touched`` narrows the
+        # send-back to this call's work.
+        holders = self._prefix_holders.setdefault(prefix, set())
+        touched = self._last_touched.setdefault(prefix, set())
         queue: deque[int] = deque()
         queued: set[int] = set()
         force: set[int] = set(origins)
@@ -312,6 +552,8 @@ class BgpSimulator:
             if asn not in queued:
                 queued.add(asn)
                 queue.append(asn)
+        holders.update(origins)
+        touched.update(origins)
         needs_refresh: set[int] = set()
         steps = 0
         budget = self.max_rounds * max(1, len(routers))
@@ -342,16 +584,18 @@ class BgpSimulator:
                 if neighbor is None:
                     continue
                 decision = current.export_to(neighbor_asn, prefix, export_cache)
-                touched = False
+                imported = False
                 if decision.export and decision.announcement is not None:
-                    neighbor.import_announcement(decision.announcement)
+                    neighbor.import_announcement(decision.announcement, import_cache)
                     report.announcements_processed += 1
-                    touched = True
+                    imported = True
                 elif neighbor.remove_announcement(prefix, current_asn):
                     report.announcements_processed += 1
-                    touched = True
-                if touched:
+                    imported = True
+                if imported:
                     needs_refresh.add(neighbor_asn)
+                    holders.add(neighbor_asn)
+                    touched.add(neighbor_asn)
                     if neighbor_asn not in queued:
                         queued.add(neighbor_asn)
                         queue.append(neighbor_asn)

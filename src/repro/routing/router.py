@@ -47,6 +47,11 @@ class ImportResult:
     best_changed: bool = False
 
 
+#: Sentinel stored in the batch import memo for as-path-loop rejections
+#: (the only rejection whose reason is prefix-independent).
+_LOOP_REJECT = ("as-path loop",)
+
+
 @dataclass
 class ExportDecision:
     """Outcome of deciding whether/how to export a route to one neighbor."""
@@ -168,7 +173,9 @@ class Router:
         self._refresh_best(prefix)
 
     # ----------------------------------------------------------------- import
-    def import_announcement(self, announcement: Announcement) -> ImportResult:
+    def import_announcement(
+        self, announcement: Announcement, cache: dict | None = None
+    ) -> ImportResult:
         """Run import policy and update the Adj-RIB-In, *without* re-selecting.
 
         This is the deferred half used by the batch propagation engine:
@@ -178,12 +185,39 @@ class Router:
         updates for one prefix in the same wave re-selects once.
         ``best_changed`` of the returned result is therefore always
         False here.
+
+        ``cache`` is an optional batch-scoped memo (the import-side twin
+        of the export memo in :meth:`export_to`): the whole import
+        pipeline — loop check, inbound filters, community services —
+        depends only on the sender, the inbound attributes and the
+        prefix's *shape* (family, length, claimed origin), never on the
+        network bits, unless the filter chain says otherwise
+        (:meth:`InboundFilterChain.prefix_scoped`).  A batch announcing
+        K prefixes with identical attributes therefore pays the
+        filter/action chain once per (router, sender, attributes)
+        instead of K times.  Filter rejections are never memoised: their
+        reasons quote the concrete prefix, so replaying them across
+        prefixes would store wrong rejection reasons.
         """
         sender = announcement.sender_asn
         if sender not in self.neighbor_relationships:
             raise RoutingError(f"AS{self.asn} received an announcement from non-neighbor AS{sender}")
 
         attributes = announcement.attributes
+        key = None
+        if cache is not None and not self.inbound_filters.prefix_scoped():
+            key = (
+                self.asn,
+                sender,
+                attributes,
+                announcement.prefix.family,
+                announcement.prefix.length,
+                announcement.origin_asn,
+            )
+            memo = cache.get(key)
+            if memo is not None:
+                return self._replay_import(announcement, sender, memo)
+
         # Loop prevention: reject routes already containing our ASN.  The
         # update still implicitly withdraws whatever this sender announced
         # for the prefix before (RFC 4271 §9.1.4): the rejected entry
@@ -197,6 +231,8 @@ class Router:
                 rejection_reason="as-path loop",
             )
             self._rib_in(sender).update(entry)
+            if key is not None:
+                cache[key] = _LOOP_REJECT
             return ImportResult(False, entry=entry, reason="as-path loop")
 
         is_blackhole_tagged = self._is_blackhole_tagged(attributes.communities)
@@ -224,7 +260,43 @@ class Router:
         )
         entry, triggered = self._apply_community_services(entry)
         self._rib_in(sender).update(entry)
+        if key is not None:
+            cache[key] = (
+                entry.attributes,
+                entry.blackholed,
+                entry.export_prepend,
+                entry.suppress_to,
+                entry.announce_only_to,
+                tuple(triggered),
+            )
         return ImportResult(True, entry=entry, triggered_services=triggered)
+
+    def _replay_import(
+        self, announcement: Announcement, sender: int, memo: tuple
+    ) -> ImportResult:
+        """Rebuild a memoised import outcome for a new prefix of the same shape."""
+        if memo is _LOOP_REJECT:
+            entry = RouteEntry(
+                prefix=announcement.prefix,
+                attributes=announcement.attributes,
+                learned_from=sender,
+                rejected=True,
+                rejection_reason="as-path loop",
+            )
+            self._rib_in(sender).update(entry)
+            return ImportResult(False, entry=entry, reason="as-path loop")
+        attributes, blackholed, export_prepend, suppress_to, announce_only_to, triggered = memo
+        entry = RouteEntry(
+            prefix=announcement.prefix,
+            attributes=attributes,
+            learned_from=sender,
+            blackholed=blackholed,
+            export_prepend=export_prepend,
+            suppress_to=suppress_to,
+            announce_only_to=announce_only_to,
+        )
+        self._rib_in(sender).update(entry)
+        return ImportResult(True, entry=entry, triggered_services=list(triggered))
 
     def process_announcement(self, announcement: Announcement) -> ImportResult:
         """Import one announcement from a neighbor; returns what happened.

@@ -1,0 +1,363 @@
+"""Sharded multi-process propagation: partitioning, state transfer, worker pool.
+
+PR 2 established that the propagation worklist partitions *exactly* by
+prefix: a ``(router, prefix)`` pair only ever enqueues pairs of the same
+prefix, so the per-prefix partitions are provably independent.  This
+module turns that property into a subsystem:
+
+* :func:`stable_shard` — a deterministic hash of ``(family, network,
+  length)`` mapping every prefix to one of K shards.  It is the same in
+  every process and every run (no ``PYTHONHASHSEED`` dependence), so a
+  prefix always lands on the same shard and results never depend on
+  worker scheduling.
+* :func:`partition_events` — split a :class:`RoutingEvent` batch into
+  per-shard event lists (empty shards are dropped — they would only
+  spawn idle workers).
+* :func:`capture_prefix_state` / :func:`install_prefix_state` /
+  :func:`clear_prefix_state` — move the *complete* per-prefix control
+  plane state (origination attributes, every Adj-RIB-In entry, and the
+  derived best route) of the routers that hold any, between a parent
+  simulator and a shard worker.  Capture in the parent ships a prefix's
+  current state to its shard; capture in the worker after convergence
+  ships the result back; install replays it, re-running best-path
+  selection so the Loc-RIB (and its LPM trie) is rebuilt through the
+  exact same code path a sequential run uses.
+* :class:`ShardPool` — a fork-once ``ProcessPoolExecutor`` whose
+  workers build one :class:`BgpSimulator` each from a shared pickled
+  topology snapshot at start-up and reuse it across every ``apply`` of
+  the parent simulator's lifetime.  Between tasks a worker only clears
+  and re-seeds the prefixes of the incoming shard; residue on *other*
+  prefixes is harmless because convergence of a prefix never reads
+  another prefix's state.
+
+The contract: worker simulators mirror the parent's router
+configuration — topology-derived *and* hand-applied (policies,
+services, vendor profiles, inbound filter chains; see
+:func:`capture_router_config`) — as of pool creation, which happens
+lazily at the first sharded ``apply``; the per-router
+``export_community_additions`` are shipped with every task because the
+attack drivers flip them between passes.  Sessions registered later via
+:meth:`BgpSimulator.register_collector_peering` do not influence
+propagation (collector ASes have no router, so exports to them are
+skipped).  Router configuration changed *after* the first sharded apply
+is the one thing not mirrored — reconfigure first, or call
+:meth:`BgpSimulator.close` to force a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.bgp.prefix import Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.bgp.attributes import PathAttributes
+    from repro.bgp.route import RouteEntry
+    from repro.routing.engine import BgpSimulator, RoutingEvent, SimulationReport
+
+#: Environment variable capping the number of shard worker processes.
+#: The grid runner sets it in its own workers so grid parallelism times
+#: propagation parallelism never oversubscribes the machine.
+SHARD_BUDGET_ENV = "REPRO_SHARD_BUDGET"
+
+#: The complete state one router holds for one prefix:
+#: ``(prefix, asn, originated_attributes | None,
+#: ((neighbor_asn, adj_rib_in_entry), ...))``.
+PrefixState = tuple[Prefix, int, "PathAttributes | None", tuple]
+
+_MIX_A = 0x9E3779B97F4A7C15
+_MIX_B = 0xBF58476D1CE4E5B9
+_MASK = (1 << 64) - 1
+
+
+def shard_worker_budget() -> int:
+    """How many shard worker processes this process may use.
+
+    :data:`SHARD_BUDGET_ENV` wins when set (that is how an outer grid
+    pool hands each of its workers a slice of the machine); otherwise
+    the CPU count.
+    """
+    raw = os.environ.get(SHARD_BUDGET_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def stable_shard(prefix: Prefix, shard_count: int) -> int:
+    """Deterministically map ``prefix`` to a shard in ``[0, shard_count)``.
+
+    A 64-bit multiply/xor-shift mix of ``(family, network, length)`` —
+    not Python's ``hash()``, whose value for the same prefix is stable
+    but whose use here would still couple shard placement to interned
+    object identity semantics; this keeps placement a pure function of
+    the prefix value in every interpreter.
+    """
+    key = (int(prefix.family) << 8) ^ prefix.length
+    mixed = (prefix.network * _MIX_A + key * _MIX_B) & _MASK
+    mixed ^= mixed >> 29
+    mixed = (mixed * _MIX_B) & _MASK
+    mixed ^= mixed >> 32
+    return mixed % shard_count
+
+
+def partition_events(
+    events: Iterable["RoutingEvent"], shard_count: int
+) -> list[tuple[int, list["RoutingEvent"]]]:
+    """Split a batch into ``(shard_index, events)`` groups, empty shards dropped.
+
+    Events keep their relative order inside each shard, so per-prefix
+    seeding order (and therefore the converged state) is identical to a
+    sequential pass over the same batch.
+    """
+    buckets: dict[int, list["RoutingEvent"]] = {}
+    for event in events:
+        buckets.setdefault(stable_shard(event.prefix, shard_count), []).append(event)
+    return sorted(buckets.items())
+
+
+# ---------------------------------------------------------------- state moves
+def capture_prefix_state(
+    simulator: "BgpSimulator",
+    prefixes: Sequence[Prefix],
+    holders: "dict[Prefix, set[int]] | None" = None,
+) -> list[PrefixState]:
+    """Snapshot the per-prefix state of every holder router, deterministically.
+
+    Holders with no remaining state (e.g. fully withdrawn prefixes) are
+    captured too: installing their empty snapshot is what *clears* the
+    receiving side.  ``holders`` overrides which (prefix, router) pairs
+    are captured (default: everything the simulator ever touched); the
+    worker return path passes the last call's touched pairs so repeated
+    applies only ship what actually changed.
+    """
+    states: list[PrefixState] = []
+    holders_map = holders if holders is not None else simulator._prefix_holders
+    routers = simulator.routers
+    for prefix in prefixes:
+        for asn in sorted(holders_map.get(prefix, ())):
+            router = routers.get(asn)
+            if router is None:
+                continue
+            adjacent = tuple(
+                (neighbor, entry)
+                for neighbor, rib in sorted(router.adj_rib_in.items())
+                if (entry := rib.get(prefix)) is not None
+            )
+            states.append((prefix, asn, router.originated.get(prefix), adjacent))
+    return states
+
+
+def install_prefix_state(
+    simulator: "BgpSimulator",
+    states: Iterable[PrefixState],
+    stale: "frozenset[Prefix] | set[Prefix] | None" = None,
+) -> None:
+    """Replay captured per-prefix state onto ``simulator``'s routers.
+
+    Each ``(router, prefix)`` slot is cleared and rebuilt, then best-path
+    selection re-runs so the Loc-RIB and its LPM trie are derived through
+    the same ``_refresh_best`` path a sequential run uses — the receiving
+    simulator is indistinguishable from one that converged in-process.
+
+    ``stale`` lists the prefixes the receiver may already hold *other*
+    state for (those slots are wiped before installing); ``None`` treats
+    every prefix as stale.  The merge path passes the parent's pre-batch
+    holder set — for the common fresh-announcement batch that set is
+    empty and the per-slot clearing sweep is skipped entirely.
+    """
+    from repro.bgp.route import RouteEntry
+    from repro.routing.decision import best_path
+
+    routers = simulator.routers
+    holders_map = simulator._prefix_holders
+    for prefix, asn, originated, adjacent in states:
+        router = routers[asn]
+        if originated is None:
+            router.originated.pop(prefix, None)
+        else:
+            router.originated[prefix] = originated
+        if stale is None or prefix in stale:
+            for rib in router.adj_rib_in.values():
+                rib.withdraw(prefix)
+        for neighbor, entry in adjacent:
+            router._rib_in(neighbor).update(entry)
+        # Re-select exactly like Router._refresh_best, but build the
+        # candidate list from the delta itself: after the install the
+        # snapshot *is* the complete per-prefix RIB state, so scanning
+        # every neighbor RIB again (O(degree) per pair) would only
+        # rediscover these entries.
+        candidates: list[RouteEntry] = []
+        if originated is not None:
+            candidates.append(
+                RouteEntry(prefix=prefix, attributes=originated, learned_from=asn)
+            )
+        candidates.extend(entry for _neighbor, entry in adjacent)
+        loc_rib = router.loc_rib
+        previous = loc_rib.best(prefix)
+        new_best = best_path(candidates)
+        loc_rib.set_candidates(prefix, candidates)
+        if not (previous is None and new_best is None) and not (
+            previous is not None
+            and new_best is not None
+            and previous.same_route(new_best)
+        ):
+            loc_rib.set_best(prefix, new_best)
+        holders_map.setdefault(prefix, set()).add(asn)
+
+
+def clear_prefix_state(simulator: "BgpSimulator", prefixes: Iterable[Prefix]) -> None:
+    """Erase all state ``simulator`` holds for ``prefixes`` (worker task reset)."""
+    routers = simulator.routers
+    for prefix in prefixes:
+        for asn in simulator._prefix_holders.pop(prefix, ()):
+            router = routers.get(asn)
+            if router is None:
+                continue
+            router.originated.pop(prefix, None)
+            for rib in router.adj_rib_in.values():
+                rib.withdraw(prefix)
+            router.loc_rib.remove(prefix)
+
+
+# ------------------------------------------------------------------- workers
+#: Per-worker-process simulator, built once from the pool's topology
+#: snapshot and reused for every task of the pool's lifetime.
+_WORKER_SIMULATOR: "BgpSimulator | None" = None
+#: Routers whose ``export_community_additions`` the previous task set
+#: (cleared before the next task installs its own).
+_WORKER_ADDITION_ASNS: set[int] = set()
+
+
+def capture_router_config(simulator: "BgpSimulator") -> dict[int, tuple]:
+    """Snapshot every router's effective configuration for the pool payload.
+
+    Routers derive their policy objects from the topology at
+    construction, but call sites may swap them afterwards (a custom
+    inbound filter chain, a strict IRR, a vendor override).  Shipping
+    the parent's *actual* per-router configuration with the snapshot
+    means shard workers mirror those hand-applied changes too — the
+    remaining contract is only that configuration settles before the
+    first sharded ``apply`` (the pool snapshot is taken then).
+    """
+    return {
+        asn: (
+            router.propagation_policy,
+            router.services,
+            router.vendor,
+            router.inbound_filters,
+            router.send_community_configured,
+        )
+        for asn, router in simulator.routers.items()
+    }
+
+
+def _initialize_worker(snapshot_payload: bytes, max_rounds: int) -> None:
+    """Pool initializer: unpickle the snapshot, build the mirrored simulator."""
+    global _WORKER_SIMULATOR
+    from repro.routing.engine import BgpSimulator
+
+    topology, router_config = pickle.loads(snapshot_payload)
+    simulator = BgpSimulator(topology, max_rounds=max_rounds, shards=1)
+    for asn, config in router_config.items():
+        router = simulator.routers.get(asn)
+        if router is None:
+            continue
+        (
+            router.propagation_policy,
+            router.services,
+            router.vendor,
+            router.inbound_filters,
+            router.send_community_configured,
+        ) = config
+    _WORKER_SIMULATOR = simulator
+
+
+def _install_additions(
+    simulator: "BgpSimulator", additions: dict[int, dict[int, Any]]
+) -> None:
+    """Mirror the parent's per-router export community additions."""
+    global _WORKER_ADDITION_ASNS
+    for asn in _WORKER_ADDITION_ASNS - set(additions):
+        router = simulator.routers.get(asn)
+        if router is not None:
+            router.export_community_additions = {}
+    for asn, mapping in additions.items():
+        router = simulator.routers.get(asn)
+        if router is not None:
+            router.export_community_additions = dict(mapping)
+    _WORKER_ADDITION_ASNS = set(additions)
+
+
+def _run_shard(
+    task: tuple[list["RoutingEvent"], list[PrefixState], dict[int, dict[int, Any]]],
+) -> tuple["SimulationReport", list[PrefixState]]:
+    """Worker entry point: converge one shard, return its report and deltas."""
+    from repro.routing.engine import _distinct_prefixes
+
+    events, states, additions = task
+    simulator = _WORKER_SIMULATOR
+    if simulator is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("shard worker used before initialization")
+    prefixes = _distinct_prefixes(events)
+    seen = set(prefixes)
+    for state in states:
+        if state[0] not in seen:
+            seen.add(state[0])
+            prefixes.append(state[0])
+    # Reset exactly this shard's prefixes (residue from earlier batches
+    # on the same worker), replay the parent's current state for them,
+    # and converge with the same per-shard core the parent would use.
+    # The clear just wiped every slot, so the install skips re-clearing.
+    clear_prefix_state(simulator, prefixes)
+    install_prefix_state(simulator, states, stale=frozenset())
+    _install_additions(simulator, additions)
+    report = simulator._apply_local(events)
+    # Ship back only the pairs this convergence touched: everything the
+    # parent sent that stayed untouched is still byte-identical there.
+    deltas = capture_prefix_state(simulator, prefixes, holders=simulator._last_touched)
+    return report, deltas
+
+
+class ShardPool:
+    """A lazily started, reusable pool of shard worker processes.
+
+    The snapshot — pickled ``(topology, router configuration)`` — is
+    produced once by the owning simulator and shipped to each worker
+    exactly once (at worker start-up); tasks then only carry events and
+    per-prefix state.  ``shutdown`` is idempotent and also runs from
+    the owning simulator's GC finalizer.
+    """
+
+    def __init__(self, snapshot_payload: bytes, max_rounds: int = 1000, workers: int = 1):
+        self.workers = max(1, workers)
+        self._payload = snapshot_payload
+        self._max_rounds = max_rounds
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_initialize_worker,
+                initargs=(self._payload, self._max_rounds),
+            )
+        return self._executor
+
+    def run(self, tasks: Sequence[tuple]) -> list[tuple]:
+        """Run every shard task; results come back in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        return list(self._ensure().map(_run_shard, tasks))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker processes (idempotent)."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)

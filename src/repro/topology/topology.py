@@ -7,6 +7,7 @@ from typing import Iterable, Iterator
 
 from repro.bgp.prefix import Prefix
 from repro.exceptions import TopologyError
+from repro.net.lpm import LpmTable, cached_table
 from repro.topology.asys import AsRole, AutonomousSystem
 from repro.topology.ixp import Ixp
 from repro.topology.relationships import Relationship, RelationshipDataset
@@ -19,6 +20,15 @@ class Topology:
     ases: dict[int, AutonomousSystem] = field(default_factory=dict)
     relationships: RelationshipDataset = field(default_factory=RelationshipDataset)
     ixps: dict[str, Ixp] = field(default_factory=dict)
+    #: Cached origin trie over every originated prefix, keyed by a content
+    #: fingerprint (AS count, prefix count, order-independent hash mix of
+    #: every (asn, prefix) pair) so both the append-only mutation API and
+    #: in-place prefix-list edits invalidate it (see
+    #: :func:`repro.net.lpm.cached_table`).  Not part of the value
+    #: semantics.
+    _origin_cache: tuple[tuple[int, int, int], LpmTable] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ nodes
     def add_as(self, asys: AutonomousSystem) -> AutonomousSystem:
@@ -112,15 +122,42 @@ class Topology:
                 mapping[prefix] = asys.asn
         return mapping
 
+    def origin_table(self) -> LpmTable:
+        """The per-family LPM trie of every originated prefix → origin ASN.
+
+        Built once and cached; repeated ownership/overlap queries
+        (:meth:`origin_of`, the hijack-overlap checks in
+        :mod:`repro.attacks`) walk the trie instead of scanning every
+        AS's prefix list.  The fingerprint mixes every (asn, prefix)
+        hash — O(total prefixes) per call, but prefix hashes are cached
+        and re-validating is far cheaper than rebuilding the trie — so
+        even an in-place prefix swap invalidates the cache.
+        """
+        count = 0
+        mix = 0
+        for asys in self.ases.values():
+            count += len(asys.prefixes)
+            asn = asys.asn
+            for prefix in asys.prefixes:
+                # Order-independent accumulation: additions, removals and
+                # re-homed prefixes all perturb the sum.
+                mix = (mix + hash((asn, prefix))) & 0xFFFFFFFFFFFFFFFF
+        self._origin_cache, table = cached_table(
+            self._origin_cache,
+            (len(self.ases), count, mix),
+            (
+                (prefix, asys.asn)
+                for asys in self.ases.values()
+                for prefix in asys.prefixes
+            ),
+        )
+        return table
+
     def origin_of(self, prefix: Prefix) -> int | None:
         """Return the legitimate origin of ``prefix`` (longest covering match)."""
-        best_asn: int | None = None
-        best_length = -1
-        for asys in self.ases.values():
-            for own in asys.prefixes:
-                if own.contains_prefix(prefix) and own.length > best_length:
-                    best_asn, best_length = asys.asn, own.length
-        return best_asn
+        covering = self.origin_table().covering(prefix)
+        # ``covering`` is ordered least specific first.
+        return covering[-1][1] if covering else None
 
     # ------------------------------------------------------------------ roles
     def by_role(self, role: AsRole) -> list[AutonomousSystem]:

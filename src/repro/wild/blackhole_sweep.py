@@ -105,13 +105,23 @@ class BlackholeSweep:
         atlas: AtlasPlatform,
         blackhole_list: BlackholeCommunityList,
         include_well_known: bool = True,
+        shards: int | str | None = None,
     ):
         self.topology = topology
         self.platform = platform
         self.atlas = atlas
         self.blackhole_list = blackhole_list
         self.include_well_known = include_well_known
+        #: Propagation shard policy threaded into every simulator the
+        #: sweep builds (None = the process default; the sweep's own
+        #: announcements are single-prefix, so this matters when the
+        #: sweep runs over a pre-seeded, fully originated topology).
+        self.shards = shards
         self.experiment_prefix = platform.allocated_prefixes[0].subprefix(24, 2)
+
+    def _simulator(self) -> BgpSimulator:
+        """A fresh simulator over the sweep topology with the sweep's shard policy."""
+        return BgpSimulator(self.topology, shards=self.shards)
 
     def _baseline_plane(self) -> DataPlane:
         """The clean (untagged) forwarding state, shared by every sweep step.
@@ -120,7 +130,7 @@ class BlackholeSweep:
         it is simulated once per :meth:`run` instead of once per
         community — the traceroute lower-bounds reuse it directly.
         """
-        clean = BgpSimulator(self.topology)
+        clean = self._simulator()
         self.platform.announce(clean, self.experiment_prefix)
         return DataPlane(clean)
 
@@ -128,7 +138,7 @@ class BlackholeSweep:
         self, community: Community, target_asn: int, baseline_plane: DataPlane
     ) -> CommunitySweepOutcome:
         """Run the four-step protocol for one community."""
-        simulator = BgpSimulator(self.topology)
+        simulator = self._simulator()
         # Step 1+2: plain announcement, baseline probing.
         self.platform.announce(simulator, self.experiment_prefix)
         dataplane = DataPlane(simulator)

@@ -256,3 +256,93 @@ class TestPlatformBatchAnnouncements:
         # The violating batch must leave the simulation untouched.
         assert simulator.ases_with_route(allocation.subprefix(24, 0)) == []
         assert simulator.report.prefixes == set()
+
+
+class TestImportMemo:
+    """K same-attribute prefixes pay the import filter/action chain once."""
+
+    @staticmethod
+    def _counting_chains(simulator, counters):
+        """Wrap every router's inbound filter chain with a call counter."""
+        from repro.policy.filters import InboundFilterChain
+
+        class CountingChain(InboundFilterChain):
+            def __init__(self, inner, key):
+                super().__init__(
+                    prefix_filter=inner.prefix_filter,
+                    irr=inner.irr,
+                    validate_origin=inner.validate_origin,
+                    blackhole_before_validation=inner.blackhole_before_validation,
+                )
+                self._key = key
+
+            def evaluate(self, prefix, origin_asn, is_blackhole):
+                counters[self._key] = counters.get(self._key, 0) + 1
+                return super().evaluate(prefix, origin_asn, is_blackhole)
+
+        for asn, router in simulator.routers.items():
+            router.inbound_filters = CountingChain(router.inbound_filters, asn)
+
+    def test_batch_evaluates_filter_chain_once_per_shape(self):
+        topology = generated_topology()
+        ases = sorted(asys.asn for asys in topology)
+        origin = ases[0]
+        base = int(Prefix.from_string("10.0.0.0/8").network)
+        events = [
+            (origin, Prefix.ipv4(base + (index << 8), 24)) for index in range(12)
+        ]
+
+        batched = BgpSimulator(topology, shards=1)
+        batched_counts: dict[int, int] = {}
+        self._counting_chains(batched, batched_counts)
+        batched.announce_many(events)
+
+        sequential = BgpSimulator(topology, shards=1)
+        sequential_counts: dict[int, int] = {}
+        self._counting_chains(sequential, sequential_counts)
+        for origin_asn, prefix in events:
+            sequential.announce(origin_asn, prefix)
+
+        # Same converged state either way.
+        assert_identical_state(batched, sequential)
+        # All 12 prefixes share attributes, so within the batch every
+        # router evaluates the chain at most once per sender, while the
+        # sequential loop pays it once per prefix.
+        assert batched_counts, "announcements must have crossed filter chains"
+        for asn, count in batched_counts.items():
+            senders = len(
+                {
+                    rib.neighbor_asn
+                    for rib in batched.routers[asn].adj_rib_in.values()
+                    if len(rib)
+                }
+            )
+            assert count <= max(1, senders), (asn, count, senders)
+        assert sum(batched_counts.values()) * len(events) <= sum(
+            sequential_counts.values()
+        ) * 2  # the batch pays ~1/K of the sequential chain evaluations
+
+    def test_memo_respects_prefix_scoped_chains(self):
+        """IRR-validating routers must not reuse shape-keyed import outcomes."""
+        from repro.policy.filters import InboundFilterChain, IrrDatabase
+
+        topology = build_figure7_topology()
+        simulator = BgpSimulator(topology, shards=1)
+        # AS3 validates origins: 203.0.113.0/24 is registered to AS1, the
+        # equally-shaped 198.51.100.0/24 is registered to somebody else.
+        irr = IrrDatabase()
+        irr.register(Prefix.from_string("203.0.113.0/24"), 1)
+        irr.register(Prefix.from_string("198.51.100.0/24"), 9)
+        simulator.router(3).inbound_filters = InboundFilterChain(
+            irr=irr, validate_origin=True
+        )
+        report = simulator.announce_many(
+            [(1, Prefix.from_string("203.0.113.0/24")), (1, Prefix.from_string("198.51.100.0/24"))]
+        )
+        assert report.prefixes
+        # The registered prefix is accepted at AS3; the mis-registered,
+        # same-shape prefix is rejected — a shape-keyed memo would have
+        # wrongly accepted it.
+        assert simulator.best_route(3, Prefix.from_string("203.0.113.0/24")) is not None
+        best = simulator.best_route(3, Prefix.from_string("198.51.100.0/24"))
+        assert best is None or best.learned_from != 1

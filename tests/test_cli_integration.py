@@ -164,3 +164,41 @@ class TestEndToEnd:
         assert entry is not None and entry.blackholed and entry.next_hop == "null0"
         plane = DataPlane(simulator)
         assert plane.traceroute(4, victim.host(1)).outcome == ForwardingOutcome.BLACKHOLED
+
+
+class TestRunOutputFile:
+    def test_run_output_writes_replayable_json_lines(self, tmp_path, capsys):
+        from repro.experiments import load_results
+
+        path = tmp_path / "result.jsonl"
+        assert main(["run", "route-manipulation", "--output", str(path)]) == 0
+        capsys.readouterr()
+        [replayed] = load_results(str(path))
+        assert replayed.name == "route-manipulation"
+        assert replayed.succeeded
+        assert replayed.spec["name"] == "route-manipulation"
+
+    def test_run_output_composes_with_json_and_params(self, tmp_path, capsys):
+        from repro.experiments import load_results
+
+        path = tmp_path / "rtbh.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "rtbh",
+                    "--param",
+                    "hijack=true",
+                    "--param",
+                    "shards=1",
+                    "--json",
+                    "--output",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        printed = json.loads(capsys.readouterr().out)
+        [replayed] = load_results(str(path))
+        assert replayed.to_dict() == printed
+        assert replayed.spec["params"]["shards"] == 1

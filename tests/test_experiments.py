@@ -17,8 +17,11 @@ from repro.experiments import (
     available,
     expand_grid,
     get,
+    load_results,
     register,
     run_experiment,
+    worker_budget,
+    write_results,
 )
 from repro.experiments import registry as registry_module
 
@@ -319,3 +322,72 @@ class TestGrid:
             ExperimentStatus.OK,
             ExperimentStatus.ERROR,
         ]
+
+
+class TestGridPersistence:
+    def test_run_streams_results_to_disk_and_replays(self, tmp_path):
+        specs = expand_grid("route-manipulation", seeds=(1, 2, 3))
+        path = tmp_path / "results.jsonl"
+        runner = GridRunner(max_workers=2)
+        results = runner.run(specs, output_path=str(path))
+        assert len(path.read_text().strip().splitlines()) == 3
+        replayed = load_results(str(path))
+        assert [result.comparable() for result in replayed] == [
+            result.comparable() for result in results
+        ]
+        # The replay is bit-faithful: timings survive the round trip too.
+        assert [result.timings for result in replayed] == [
+            result.timings for result in results
+        ]
+
+    def test_sequential_run_streams_too(self, tmp_path):
+        specs = expand_grid("route-manipulation", seeds=(5,))
+        path = tmp_path / "single.jsonl"
+        results = GridRunner().run(specs, parallel=False, output_path=str(path))
+        assert [r.comparable() for r in load_results(str(path))] == [
+            results[0].comparable()
+        ]
+
+    def test_write_results_appends(self, tmp_path):
+        specs = expand_grid("route-manipulation", seeds=(1,))
+        [result] = GridRunner().run(specs, parallel=False)
+        path = tmp_path / "log.jsonl"
+        assert write_results(str(path), [result]) == 1
+        assert write_results(str(path), [result], append=True) == 1
+        assert len(load_results(str(path))) == 2
+
+
+class TestWorkerBudget:
+    def test_composes_grid_workers_and_shards_without_oversubscription(self):
+        # 8 CPUs, 4-way sharding: at most 2 grid workers, 4 shards each.
+        workers, shard_budget = worker_budget(10, shards_per_task=4, cpu_total=8)
+        assert workers * 4 <= 8
+        assert (workers, shard_budget) == (2, 4)
+        # Unsharded specs: the grid takes the whole machine, shards get 1.
+        workers, shard_budget = worker_budget(10, shards_per_task=1, cpu_total=8)
+        assert (workers, shard_budget) == (8, 1)
+        # Never more workers than tasks, and never zero of anything.
+        workers, shard_budget = worker_budget(2, shards_per_task=3, cpu_total=8)
+        assert workers == 2 and workers * 3 <= 8
+        workers, shard_budget = worker_budget(5, shards_per_task=16, cpu_total=4)
+        assert workers == 1 and shard_budget == 4
+
+    def test_max_workers_is_an_additional_cap(self):
+        workers, _budget = worker_budget(10, max_workers=3, shards_per_task=1, cpu_total=8)
+        assert workers == 3
+
+    def test_shards_param_reaches_experiment_and_keeps_results_identical(self):
+        spec_plain = get("feasibility").default_spec(seed=3)
+        spec_sharded = get("feasibility").default_spec(seed=3, shards=2)
+        plain = run_experiment(spec_plain)
+        sharded = run_experiment(spec_sharded)
+        assert sharded.status is ExperimentStatus.OK
+        # The spec (shards recorded) differs; the outcome must not.
+        assert plain.metrics == sharded.metrics
+        assert spec_sharded.params["shards"] == 2
+
+    def test_invalid_shards_param_is_captured(self):
+        spec = get("feasibility").default_spec(seed=3, shards="bogus")
+        result = run_experiment(spec)
+        assert result.status is ExperimentStatus.ERROR
+        assert "shards" in (result.error or "")
