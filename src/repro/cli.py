@@ -14,7 +14,8 @@ Sub-commands:
 * ``attacks``   — alias for ``run feasibility``: the Table 3 matrix;
 * ``sweep``     — alias for ``run blackhole-sweep`` (Section 7.6);
 * ``propagation`` — alias for ``run propagation-check`` (Section 7.2);
-* ``export-mrt`` — write the synthetic dataset to an MRT file.
+* ``export-mrt`` — write an observation archive (synthetic dataset or a
+  live, optionally sharded collector harvest) to an MRT file.
 """
 
 from __future__ import annotations
@@ -140,9 +141,41 @@ def _cmd_propagation(args: argparse.Namespace) -> int:
     return _print_outcome(experiment, result)
 
 
+def _parse_shards(value: str) -> int | str:
+    """argparse type for ``--shards``: an integer or ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer or 'auto', got {value!r}")
+
+
 def _cmd_export_mrt(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args.seed, args.scale)
-    count = dataset.archive.write_mrt(args.output)
+    if args.source != "harvest" and args.shards is not None:
+        raise SystemExit(
+            "error: --shards only applies to --source harvest "
+            "(the synthetic generator has nothing to parallelize)"
+        )
+    if args.source == "harvest":
+        from repro.collectors.platform import CollectorDeployment
+        from repro.experiments import ExperimentSpec
+        from repro.routing.engine import BgpSimulator
+
+        spec = ExperimentSpec(name="report", seed=args.seed, scale=args.scale)
+        topology = spec.build_topology()
+        # The shard policy drives both halves of the pipeline: the
+        # convergence of the originations and the collector harvest.
+        simulator = BgpSimulator(topology, shards=args.shards)
+        try:
+            simulator.announce_originated()
+            deployment = CollectorDeployment.default_deployment(topology, seed=args.seed)
+            archive = deployment.collect_from_simulator(simulator, shards=args.shards)
+        finally:
+            simulator.close()
+    else:
+        archive = _build_dataset(args.seed, args.scale).archive
+    count = archive.write_mrt(args.output)
     print(f"wrote {count} MRT records to {args.output}")
     return 0
 
@@ -214,9 +247,23 @@ def build_parser() -> argparse.ArgumentParser:
     propagation.set_defaults(func=_cmd_propagation)
 
     export = subparsers.add_parser(
-        "export-mrt", parents=[seeded, scaled], help="write the synthetic dataset as MRT"
+        "export-mrt", parents=[seeded, scaled], help="write an observation archive as MRT"
     )
     export.add_argument("output")
+    export.add_argument(
+        "--source",
+        choices=["synthetic", "harvest"],
+        default="synthetic",
+        help="synthetic dataset generator, or a live harvest of the simulated collectors",
+    )
+    export.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=None,
+        metavar="K",
+        help="fan the live convergence + harvest over K worker processes "
+        "(or 'auto'; harvest source only)",
+    )
     export.set_defaults(func=_cmd_export_mrt)
     return parser
 

@@ -2,6 +2,7 @@
 
 from repro.collectors.observation import RouteObservation, ObservationArchive
 from repro.collectors.platform import Collector, CollectorPlatform, CollectorDeployment
+from repro.collectors.harvest import HarvestItem, build_worklist, harvest_archive
 
 __all__ = [
     "RouteObservation",
@@ -9,4 +10,7 @@ __all__ = [
     "Collector",
     "CollectorPlatform",
     "CollectorDeployment",
+    "HarvestItem",
+    "build_worklist",
+    "harvest_archive",
 ]

@@ -1,0 +1,299 @@
+"""Sharded, memoised collector harvesting.
+
+``CollectorDeployment.collect_from_simulator`` used to be the last
+serial hot path of the pipeline: one process re-ran each peer router's
+full-table export policy chain once per (collector, peer) session.
+This module is the subsystem that replaces that loop:
+
+* :func:`build_worklist` flattens a deployment into the exact
+  (collector, peer) sequence the serial loop walked — the item index is
+  the merge key that keeps any parallel execution byte-identical;
+* the **per-peer export memo**: every session shares one harvest-scoped
+  export cache keyed by :meth:`Router.export_memo_key`, so N collectors
+  peering with the same AS pay the policy/prepend/rewrite chain once
+  per distinct best route instead of N times;
+* :func:`harvest_archive` with ``shards=K`` partitions the work-list
+  **by peer** (:func:`repro.routing.shard.stable_asn_shard` — all of a
+  peer's sessions land on one shard so the memo still pays once) and
+  drives the shards through the owning simulator's fork-once
+  :class:`~repro.routing.shard.ShardPool`.  Workers rebuild each peer's
+  Loc-RIB from the shipped best routes, run the same memoised export
+  core, and return observation rows tagged with their work-list index;
+  the parent merges them back in index order — the resulting archive is
+  byte-identical to the serial loop for every shard count.
+
+Parallelism composes with the rest of the system: the pool is the same
+one sharded propagation uses (one topology snapshot, one set of warm
+workers) and its size is capped by
+:func:`repro.routing.shard.shard_worker_budget`, which
+:class:`~repro.experiments.grid.GridRunner` pins per grid worker via
+``REPRO_SHARD_BUDGET`` — grid × shard × harvest parallelism never
+oversubscribes the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.bgp.rib import LocRib
+from repro.collectors.observation import ObservationArchive, RouteObservation
+from repro.routing.engine import AUTO_SHARD_MAX, AUTO_SHARD_MIN_BUDGET
+from repro.topology.relationships import Relationship
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.bgp.route import Announcement
+    from repro.collectors.platform import CollectorDeployment
+    from repro.routing.engine import BgpSimulator
+
+#: Below this many (collector, peer) work items, ``shards="auto"`` stays
+#: serial: worker start-up and Loc-RIB shipping would eat the win.
+HARVEST_AUTO_MIN_ITEMS = 64
+
+
+@dataclass(frozen=True)
+class HarvestItem:
+    """One (collector, peer) session of the harvest work-list."""
+
+    #: Position in the serial work-list — the merge key that keeps a
+    #: sharded harvest byte-identical to the serial loop.
+    index: int
+    platform: str
+    collector_id: str
+    collector_asn: int
+    peer_asn: int
+
+
+def build_worklist(
+    deployment: "CollectorDeployment", simulator: "BgpSimulator"
+) -> list[HarvestItem]:
+    """Flatten a deployment into the serial-order (collector, peer) work-list.
+
+    Peers without a router in the simulation are skipped, exactly like
+    the historical serial loop skipped them.
+    """
+    items: list[HarvestItem] = []
+    routers = simulator.routers
+    for collector in deployment.all_collectors():
+        for peer_asn in collector.peer_asns:
+            if peer_asn not in routers:
+                continue
+            items.append(
+                HarvestItem(
+                    index=len(items),
+                    platform=collector.platform,
+                    collector_id=collector.collector_id,
+                    collector_asn=collector.collector_asn,
+                    peer_asn=peer_asn,
+                )
+            )
+    return items
+
+
+def _observation_from(
+    item: HarvestItem, announcement: "Announcement", timestamp: float
+) -> RouteObservation:
+    """Turn one exported announcement into the observation the archive stores."""
+    return RouteObservation(
+        platform=item.platform,
+        collector_id=item.collector_id,
+        peer_asn=item.peer_asn,
+        prefix=announcement.prefix,
+        as_path=tuple(announcement.attributes.as_path.asns()),
+        communities=announcement.attributes.communities,
+        timestamp=timestamp,
+    )
+
+
+def _export_item(
+    simulator: "BgpSimulator", item: HarvestItem, timestamp: float, export_cache: dict
+) -> list[RouteObservation]:
+    """Export one session's full table through the shared memo."""
+    router = simulator.router(item.peer_asn)
+    shared_key = router.export_memo_key(item.collector_asn)
+    return [
+        _observation_from(item, announcement, timestamp)
+        for announcement in router.export_all_to(item.collector_asn, export_cache, shared_key)
+    ]
+
+
+def _harvest_serial(
+    items: Sequence[HarvestItem], simulator: "BgpSimulator", timestamp: float
+) -> ObservationArchive:
+    """The in-process reference path: serial order, memoised exports."""
+    archive = ObservationArchive()
+    export_cache: dict = {}
+    for item in items:
+        simulator.register_collector_peering(item.peer_asn, item.collector_asn)
+        archive.extend(_export_item(simulator, item, timestamp, export_cache))
+    return archive
+
+
+def resolve_harvest_shards(
+    shards: int | str | None,
+    item_count: int,
+    peer_count: int,
+    simulator: "BgpSimulator",
+) -> int:
+    """Turn the harvest shard policy into a concrete shard count.
+
+    ``None`` and ``1`` mean serial; an integer K is honoured (capped by
+    the distinct-peer count — surplus shards would only idle);
+    ``"auto"`` engages when the CPU budget and the work-list size make
+    the pool worth paying for.
+    """
+    if shards is None or shards == 1 or peer_count <= 1:
+        return 1
+    if shards == "auto":
+        from repro.routing.shard import shard_worker_budget
+
+        budget = (
+            simulator.max_workers
+            if simulator.max_workers is not None
+            else shard_worker_budget()
+        )
+        if budget < AUTO_SHARD_MIN_BUDGET or item_count < HARVEST_AUTO_MIN_ITEMS:
+            return 1
+        return min(AUTO_SHARD_MAX, budget, peer_count)
+    count = int(shards)
+    if count <= 1:
+        return 1
+    return min(count, peer_count)
+
+
+# ---------------------------------------------------------------- sharded path
+#: One shard's task payload: its work items, each distinct peer's
+#: Loc-RIB best routes (in Loc-RIB order), the peers' export community
+#: additions, and the harvest timestamp.
+HarvestTask = tuple
+
+
+def _capture_peer_state(simulator: "BgpSimulator", peer_asns: Iterable[int]) -> tuple:
+    """Snapshot each peer router's best routes, preserving Loc-RIB order.
+
+    The order matters: ``export_all_to`` walks ``loc_rib.prefixes()``,
+    so the worker must rebuild the table in the parent's insertion
+    order for the exported announcement sequence — and therefore the
+    merged archive — to be byte-identical.
+    """
+    states = []
+    for peer_asn in peer_asns:
+        loc_rib = simulator.router(peer_asn).loc_rib
+        entries = tuple((prefix, loc_rib.best(prefix)) for prefix in loc_rib.prefixes())
+        states.append((peer_asn, entries))
+    return tuple(states)
+
+
+def _run_harvest_shard(task: HarvestTask) -> list[tuple[int, list[RouteObservation]]]:
+    """Worker entry point: rebuild the shard's peers, export, tag with indexes."""
+    from repro.routing import shard as shard_module
+
+    simulator = shard_module._WORKER_SIMULATOR
+    if simulator is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("harvest worker used before initialization")
+    items, peer_states, additions, timestamp = task
+    for peer_asn, entries in peer_states:
+        router = simulator.routers[peer_asn]
+        # Replace the Loc-RIB wholesale with the parent's best routes.
+        # The LPM trie is left empty on purpose: exports never do LPM
+        # lookups, and a later propagation task on this worker clears
+        # and reinstalls its own prefixes through the public API anyway.
+        fresh = LocRib()
+        for prefix, best in entries:
+            fresh._best[prefix] = best
+        router.loc_rib = fresh
+        # Mirror the parent's additions AND keep the shard module's
+        # bookkeeping honest: a later propagation task clears exactly
+        # the ASNs in _WORKER_ADDITION_ASNS, so any addition this task
+        # sets (or clears) must be reflected there — otherwise a
+        # harvest-installed addition would silently outlive a parent
+        # that since dropped it, and sharded applies would diverge.
+        peer_additions = additions.get(peer_asn)
+        if peer_additions:
+            router.export_community_additions = dict(peer_additions)
+            shard_module._WORKER_ADDITION_ASNS.add(peer_asn)
+        else:
+            router.export_community_additions = {}
+            shard_module._WORKER_ADDITION_ASNS.discard(peer_asn)
+    export_cache: dict = {}
+    results: list[tuple[int, list[RouteObservation]]] = []
+    for item in items:
+        router = simulator.routers[item.peer_asn]
+        router.add_neighbor(item.collector_asn, Relationship.CUSTOMER)
+        results.append((item.index, _export_item(simulator, item, timestamp, export_cache)))
+    return results
+
+
+def _harvest_sharded(
+    items: Sequence[HarvestItem],
+    simulator: "BgpSimulator",
+    timestamp: float,
+    shard_count: int,
+) -> ObservationArchive:
+    """Partition by peer, export in the worker pool, merge in work-list order."""
+    from repro.routing.shard import stable_asn_shard
+
+    # The parent registers every session too, exactly like the serial
+    # path — parent simulator state is identical whichever path ran.
+    for item in items:
+        simulator.register_collector_peering(item.peer_asn, item.collector_asn)
+    groups: dict[int, list[HarvestItem]] = {}
+    for item in items:
+        groups.setdefault(stable_asn_shard(item.peer_asn, shard_count), []).append(item)
+    tasks = []
+    for _shard_index, group in sorted(groups.items()):
+        peer_order: list[int] = []
+        seen: set[int] = set()
+        for item in group:
+            if item.peer_asn not in seen:
+                seen.add(item.peer_asn)
+                peer_order.append(item.peer_asn)
+        additions = {
+            asn: dict(simulator.router(asn).export_community_additions)
+            for asn in peer_order
+            if simulator.router(asn).export_community_additions
+        }
+        tasks.append(
+            (tuple(group), _capture_peer_state(simulator, peer_order), additions, timestamp)
+        )
+    pool = simulator._ensure_pool(len(tasks))
+    outcomes = pool.run(tasks, fn=_run_harvest_shard)
+    rows = [row for outcome in outcomes for row in outcome]
+    rows.sort(key=lambda pair: pair[0])
+    archive = ObservationArchive()
+    for _index, observations in rows:
+        archive.extend(observations)
+    return archive
+
+
+def harvest_archive(
+    deployment: "CollectorDeployment",
+    simulator: "BgpSimulator",
+    timestamp: float = 0.0,
+    shards: int | str | None = None,
+) -> ObservationArchive:
+    """Harvest a deployment's observations from a converged simulation.
+
+    ``shards`` selects the execution policy: ``1`` serial, an integer K
+    or ``"auto"`` parallel; ``None`` inherits the simulator's own
+    explicit ``shards`` policy (a ``BgpSimulator(shards=4)`` harvests
+    sharded too), falling back to serial when the simulator also left
+    it unset.  The archive is byte-identical whichever path runs.
+
+    The sharded path inherits the worker-pool contract of
+    :mod:`repro.routing.shard`: worker routers mirror the parent's
+    configuration as of pool creation, so router config (policies,
+    vendor, filters) changed *after* the first sharded call is not
+    reflected — reconfigure first, or :meth:`BgpSimulator.close` to
+    force a fresh snapshot.  Loc-RIB bests and per-session export
+    community additions are re-shipped with every harvest and are
+    always current.
+    """
+    if shards is None:
+        shards = simulator.shards
+    items = build_worklist(deployment, simulator)
+    peer_count = len({item.peer_asn for item in items})
+    shard_count = resolve_harvest_shards(shards, len(items), peer_count, simulator)
+    if shard_count <= 1:
+        return _harvest_serial(items, simulator, timestamp)
+    return _harvest_sharded(items, simulator, timestamp, shard_count)

@@ -2,14 +2,23 @@
 
 A :class:`RouteObservation` is one (collector, peer, prefix) data point:
 the AS path as seen by the collector peer and the communities attached
-to the announcement.  Both the synthetic dataset generator and the live
-simulation produce these; the Section 4 analyses consume them; and the
-MRT bridge serialises them to and from standard BGP archives.
+to the announcement (or a withdrawal marker — collectors see those
+too).  Both the synthetic dataset generator and the live simulation
+produce these; the Section 4 analyses consume them; and the MRT bridge
+serialises them to and from standard BGP archives losslessly — IPv4 and
+IPv6 announcements and withdrawals all round-trip.
+
+:class:`ObservationArchive` keeps its observations indexed: per-platform
+and per-collector buckets plus an :class:`~repro.net.lpm.LpmTable` over
+the observed prefixes, so the per-platform slicing and prefix queries
+the Section 4 analyses hammer are bucket lookups instead of O(n)
+rescans of the whole archive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
@@ -17,10 +26,55 @@ from repro.bgp.aspath import ASPath
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.community import Community, CommunitySet
 from repro.bgp.message import BgpUpdate
-from repro.bgp.prefix import AddressFamily, Prefix
+from repro.bgp.prefix import Prefix
+from repro.exceptions import MrtError
+from repro.mrt.constants import AFI_IPV4, AFI_IPV6
 from repro.mrt.entries import Bgp4mpMessage
 from repro.mrt.reader import MrtReader
 from repro.mrt.writer import MrtWriter
+from repro.net.lpm import LpmTable
+
+#: MRT common headers carry a 32-bit Unix timestamp; anything outside
+#: this window used to wrap silently through the ``& 0xFFFFFFFF`` mask.
+_MRT_TIMESTAMP_LIMIT = 1 << 32
+
+#: Synthetic peer addressing for MRT export.  IPv6 peers live in
+#: 2001:db8::/96 (ASN in the low 32 bits) and the collector in a
+#: disjoint 2001:db8:0:ffff::/64 — no ASN can collide with it.  IPv4
+#: has no room for an injective 32-bit-ASN mapping *plus* a disjoint
+#: collector, so peers map identically (address = ASN, injective across
+#: all peers) and the collector uses 192.0.2.1; only the one ASN equal
+#: to that literal address could ever collide with the collector side.
+_PEER_IPV6_BASE = 0x20010DB8 << 96
+_COLLECTOR_IPV4 = 0xC0000201  # 192.0.2.1
+_COLLECTOR_IPV6 = _PEER_IPV6_BASE | (0xFFFF << 64) | 1
+
+
+def peer_ip_for(peer_asn: int, address_family: int) -> int:
+    """A deterministic, per-peer synthetic IP for MRT export.
+
+    Distinct peers must not collapse onto one address (the constant
+    ``10.0.0.1`` every peer used to get made archives unattributable),
+    so the mapping is injective over the full 32-bit ASN space for both
+    families.
+    """
+    if address_family == AFI_IPV4:
+        return peer_asn & 0xFFFFFFFF
+    return _PEER_IPV6_BASE | (peer_asn & 0xFFFFFFFF)
+
+
+def collector_ip_for(address_family: int) -> int:
+    """The synthetic collector-side IP for MRT export."""
+    return _COLLECTOR_IPV4 if address_family == AFI_IPV4 else _COLLECTOR_IPV6
+
+
+def _validate_timestamp(timestamp: float) -> None:
+    """Reject timestamps the 32-bit MRT header cannot represent."""
+    if not 0 <= timestamp < _MRT_TIMESTAMP_LIMIT:
+        raise MrtError(
+            f"observation timestamp {timestamp} does not fit the 32-bit "
+            "MRT header (must be within 1970-01-01..2106-02-07 UTC)"
+        )
 
 
 @dataclass(frozen=True)
@@ -36,20 +90,34 @@ class RouteObservation:
     as_path: tuple[int, ...]
     communities: CommunitySet = field(default_factory=CommunitySet)
     timestamp: float = 0.0
+    #: True for a withdrawal: the peer revoked the prefix.  Withdrawals
+    #: carry no path or communities; they exist so MRT archives with
+    #: mixed announce/withdraw streams replay losslessly.
+    withdrawn: bool = False
 
     @property
     def origin_asn(self) -> int | None:
         """The origin AS of the observed route."""
         return self.as_path[-1] if self.as_path else None
 
-    @property
+    @cached_property
     def path_without_prepending(self) -> tuple[int, ...]:
-        """The AS path with consecutive duplicates collapsed."""
+        """The AS path with consecutive duplicates collapsed (cached)."""
         collapsed: list[int] = []
         for asn in self.as_path:
             if not collapsed or collapsed[-1] != asn:
                 collapsed.append(asn)
         return tuple(collapsed)
+
+    @cached_property
+    def path_asns(self) -> frozenset[int]:
+        """The distinct ASNs on the AS path (cached).
+
+        The propagation analyses test path membership per observed
+        community; building ``set(self.as_path)`` on every call made
+        that quadratic in the community count.
+        """
+        return frozenset(self.as_path)
 
     @property
     def has_communities(self) -> bool:
@@ -62,23 +130,63 @@ class RouteObservation:
 
     def is_on_path(self, community: Community) -> bool:
         """True if the community's ASN part appears on the AS path."""
-        return community.asn in set(self.as_path)
+        return community.asn in self.path_asns
+
+
+class _ArchiveIndex:
+    """The query indexes of one archive: buckets plus a prefix trie."""
+
+    __slots__ = ("platform_buckets", "collector_buckets", "prefix_table", "peer_asns")
+
+    def __init__(self) -> None:
+        self.platform_buckets: dict[str, list[RouteObservation]] = {}
+        self.collector_buckets: dict[tuple[str, str], list[RouteObservation]] = {}
+        #: prefix -> observations of exactly that prefix, in archive order.
+        self.prefix_table = LpmTable()
+        self.peer_asns: set[int] = set()
+
+    def add(self, observation: RouteObservation) -> None:
+        self.platform_buckets.setdefault(observation.platform, []).append(observation)
+        self.collector_buckets.setdefault(
+            (observation.platform, observation.collector_id), []
+        ).append(observation)
+        bucket = self.prefix_table.get(observation.prefix)
+        if bucket is None:
+            self.prefix_table.insert(observation.prefix, [observation])
+        else:
+            bucket.append(observation)
+        self.peer_asns.add(observation.peer_asn)
 
 
 class ObservationArchive:
-    """A collection of route observations with query helpers and MRT round-tripping."""
+    """A collection of route observations with indexed queries and MRT round-tripping."""
 
     def __init__(self, observations: Iterable[RouteObservation] = ()):
         self._observations: list[RouteObservation] = list(observations)
+        #: Built lazily on the first indexed query; appends keep it in
+        #: sync incrementally instead of invalidating it.
+        self._index: _ArchiveIndex | None = None
 
     # --------------------------------------------------------------- mutation
     def add(self, observation: RouteObservation) -> None:
         """Append one observation."""
         self._observations.append(observation)
+        if self._index is not None:
+            self._index.add(observation)
 
     def extend(self, observations: Iterable[RouteObservation]) -> None:
         """Append many observations."""
-        self._observations.extend(observations)
+        for observation in observations:
+            self.add(observation)
+
+    # ---------------------------------------------------------------- indexes
+    def _ensure_index(self) -> _ArchiveIndex:
+        if self._index is None:
+            index = _ArchiveIndex()
+            for observation in self._observations:
+                index.add(observation)
+            self._index = index
+        return self._index
 
     # ---------------------------------------------------------------- queries
     def __len__(self) -> int:
@@ -92,24 +200,52 @@ class ObservationArchive:
         return ObservationArchive(o for o in self._observations if predicate(o))
 
     def by_platform(self, platform: str) -> "ObservationArchive":
-        """Return only the observations of one platform."""
-        return self.filter(lambda o: o.platform == platform)
+        """Return only the observations of one platform (bucket lookup)."""
+        return ObservationArchive(self._ensure_index().platform_buckets.get(platform, ()))
+
+    def by_collector(self, platform: str, collector_id: str) -> "ObservationArchive":
+        """Return only one collector's observations (bucket lookup)."""
+        bucket = self._ensure_index().collector_buckets.get((platform, collector_id), ())
+        return ObservationArchive(bucket)
 
     def platforms(self) -> list[str]:
         """Return the distinct platform names, sorted."""
-        return sorted({o.platform for o in self._observations})
+        return sorted(self._ensure_index().platform_buckets)
 
     def collectors(self) -> list[tuple[str, str]]:
         """Return the distinct (platform, collector) pairs, sorted."""
-        return sorted({(o.platform, o.collector_id) for o in self._observations})
+        return sorted(self._ensure_index().collector_buckets)
 
     def peer_asns(self) -> set[int]:
         """Return the distinct collector-peer ASNs."""
-        return {o.peer_asn for o in self._observations}
+        return set(self._ensure_index().peer_asns)
 
     def prefixes(self) -> set[Prefix]:
         """Return the distinct observed prefixes."""
-        return {o.prefix for o in self._observations}
+        return {prefix for prefix, _bucket in self._ensure_index().prefix_table.items()}
+
+    def observations_for(self, prefix: Prefix) -> list[RouteObservation]:
+        """Return the observations of exactly ``prefix``, in archive order."""
+        bucket = self._ensure_index().prefix_table.get(prefix)
+        return list(bucket) if bucket else []
+
+    def covered_by(self, prefix: Prefix) -> "ObservationArchive":
+        """Observations whose prefix lies inside ``prefix`` (more specifics)."""
+        matches = sorted(self._ensure_index().prefix_table.covered(prefix))
+        return ObservationArchive(o for _prefix, bucket in matches for o in bucket)
+
+    def covering(self, prefix: Prefix) -> "ObservationArchive":
+        """Observations whose prefix covers ``prefix`` (less specifics)."""
+        matches = sorted(self._ensure_index().prefix_table.covering(prefix))
+        return ObservationArchive(o for _prefix, bucket in matches for o in bucket)
+
+    def announcements(self) -> "ObservationArchive":
+        """Return only the announcement observations."""
+        return self.filter(lambda o: not o.withdrawn)
+
+    def withdrawals(self) -> "ObservationArchive":
+        """Return only the withdrawal observations."""
+        return self.filter(lambda o: o.withdrawn)
 
     def with_communities(self) -> "ObservationArchive":
         """Return only the observations carrying at least one community."""
@@ -131,28 +267,46 @@ class ObservationArchive:
 
     # ------------------------------------------------------------------- MRT
     def to_mrt_messages(self, collector_asn: int = 65000) -> Iterator[Bgp4mpMessage]:
-        """Convert observations to BGP4MP messages (IPv4 observations only)."""
+        """Convert every observation — IPv4 and IPv6, announce and withdraw —
+        to BGP4MP messages.
+
+        Withdrawals become withdrawal-only UPDATEs; each peer gets a
+        distinct synthetic address (see :func:`peer_ip_for`); and a
+        timestamp outside the 32-bit MRT window raises a clear
+        :class:`MrtError` instead of wrapping silently in the header.
+        """
         for observation in self._observations:
-            if not observation.prefix.is_ipv4:
-                continue
-            attributes = PathAttributes(
-                as_path=ASPath.of(*observation.as_path),
-                communities=observation.communities,
-            )
-            update = BgpUpdate(announced=[observation.prefix], attributes=attributes)
+            timestamp = observation.timestamp
+            _validate_timestamp(timestamp)
+            address_family = AFI_IPV4 if observation.prefix.is_ipv4 else AFI_IPV6
+            if observation.withdrawn:
+                update = BgpUpdate(withdrawn=[observation.prefix])
+            else:
+                attributes = PathAttributes(
+                    as_path=ASPath.of(*observation.as_path),
+                    communities=observation.communities,
+                )
+                update = BgpUpdate(announced=[observation.prefix], attributes=attributes)
             yield Bgp4mpMessage(
-                timestamp=int(observation.timestamp),
+                timestamp=int(timestamp),
                 peer_asn=observation.peer_asn,
                 local_asn=collector_asn,
-                peer_ip=0x0A000001,
-                local_ip=0x0A000002,
+                peer_ip=peer_ip_for(observation.peer_asn, address_family),
+                local_ip=collector_ip_for(address_family),
                 interface_index=0,
-                address_family=1,
+                address_family=address_family,
                 update=update,
             )
 
     def write_mrt(self, path: str | Path, collector_asn: int = 65000) -> int:
-        """Write the archive as an MRT file; return the record count."""
+        """Write the archive as an MRT file; return the record count.
+
+        Timestamps are validated up front so a bad observation in the
+        middle of the archive fails the whole write instead of leaving
+        a truncated file at the destination.
+        """
+        for observation in self._observations:
+            _validate_timestamp(observation.timestamp)
         path = Path(path)
         with path.open("wb") as stream:
             writer = MrtWriter(stream)
@@ -164,9 +318,28 @@ class ObservationArchive:
     def from_mrt(
         cls, path: str | Path, platform: str = "mrt", collector_id: str = "mrt-0"
     ) -> "ObservationArchive":
-        """Load an MRT update file into an archive."""
+        """Load an MRT update file into an archive (streamed record-at-a-time).
+
+        Both sides of every UPDATE are surfaced: withdrawn prefixes
+        become withdrawal-marked observations (first, matching the wire
+        layout) and announced prefixes regular ones — so a write →
+        read round-trip is lossless for mixed archives.
+        """
         archive = cls()
         for message in MrtReader.from_file(path).messages():
+            timestamp = float(message.timestamp)
+            for prefix in message.update.withdrawn:
+                archive.add(
+                    RouteObservation(
+                        platform=platform,
+                        collector_id=collector_id,
+                        peer_asn=message.peer_asn,
+                        prefix=prefix,
+                        as_path=(),
+                        timestamp=timestamp,
+                        withdrawn=True,
+                    )
+                )
             for prefix in message.update.announced:
                 archive.add(
                     RouteObservation(
@@ -176,7 +349,7 @@ class ObservationArchive:
                         prefix=prefix,
                         as_path=tuple(message.update.attributes.as_path.asns()),
                         communities=message.update.attributes.communities,
-                        timestamp=float(message.timestamp),
+                        timestamp=timestamp,
                     )
                 )
         return archive

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.collectors.observation import ObservationArchive, RouteObservation
+from repro.collectors.observation import ObservationArchive
 from repro.exceptions import CollectorError
 from repro.routing.engine import BgpSimulator
 from repro.topology.topology import Topology
@@ -134,31 +134,24 @@ class CollectorDeployment:
 
     # ------------------------------------------------------------- harvesting
     def collect_from_simulator(
-        self, simulator: BgpSimulator, timestamp: float = 0.0
+        self,
+        simulator: BgpSimulator,
+        timestamp: float = 0.0,
+        shards: int | str | None = None,
     ) -> ObservationArchive:
         """Harvest observations from a converged simulation.
 
         Each collector peer exports its full table to the collector
         exactly as it would to a customer, so the observation carries
         the communities the peer's propagation policy lets through.
+
+        The work runs through :mod:`repro.collectors.harvest`: exports
+        are memoised per peer (N collectors sharing a peer pay the
+        policy chain once) and ``shards`` (an integer or ``"auto"``)
+        fans the (collector, peer) work-list over the simulator's
+        fork-once worker pool — the archive is byte-identical to the
+        serial loop for any shard count.
         """
-        archive = ObservationArchive()
-        for collector in self.all_collectors():
-            for peer_asn in collector.peer_asns:
-                if peer_asn not in simulator.routers:
-                    continue
-                simulator.register_collector_peering(peer_asn, collector.collector_asn)
-                router = simulator.router(peer_asn)
-                for announcement in router.export_all_to(collector.collector_asn):
-                    archive.add(
-                        RouteObservation(
-                            platform=collector.platform,
-                            collector_id=collector.collector_id,
-                            peer_asn=peer_asn,
-                            prefix=announcement.prefix,
-                            as_path=tuple(announcement.attributes.as_path.asns()),
-                            communities=announcement.attributes.communities,
-                            timestamp=timestamp,
-                        )
-                    )
-        return archive
+        from repro.collectors.harvest import harvest_archive
+
+        return harvest_archive(self, simulator, timestamp=timestamp, shards=shards)

@@ -103,7 +103,9 @@ def _summary_for(name: str, archive: ObservationArchive) -> ObservedAsSummary:
     on_path_asns: set[int] = set()
     off_path_asns: set[int] = set()
     for observation in archive:
-        path = set(observation.path_without_prepending)
+        # Same membership as the collapsed path: collapsing only drops
+        # consecutive duplicates, so the cached ASN set is equivalent.
+        path = observation.path_asns
         for community in observation.communities:
             asn = community.asn
             all_asns.add(asn)

@@ -8,6 +8,7 @@ raw :class:`MrtRecord` objects rather than being dropped.
 
 from __future__ import annotations
 
+import io
 import struct
 from pathlib import Path
 from typing import BinaryIO, Iterator
@@ -43,30 +44,54 @@ from repro.mrt.entries import (
 
 
 def iter_raw_records(data: bytes) -> Iterator[MrtRecord]:
-    """Yield raw MRT records from a byte buffer."""
-    offset = 0
-    total = len(data)
-    while offset < total:
-        if offset + MRT_HEADER_LENGTH > total:
-            raise MrtTruncatedError("truncated MRT common header")
-        timestamp, mrt_type, subtype, length = struct.unpack(
-            "!IHHI", data[offset:offset + MRT_HEADER_LENGTH]
-        )
-        offset += MRT_HEADER_LENGTH
+    """Yield raw MRT records from a byte buffer.
+
+    Thin wrapper over :func:`iter_stream_records` so the record framing
+    (header layout, BGP4MP_ET microseconds, truncation errors) lives in
+    exactly one place.
+    """
+    yield from iter_stream_records(io.BytesIO(data))
+
+
+def _read_exact(stream: BinaryIO, count: int, what: str) -> bytes:
+    """Read exactly ``count`` bytes or raise a truncation error."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise MrtTruncatedError(f"truncated {what}")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def iter_stream_records(stream: BinaryIO) -> Iterator[MrtRecord]:
+    """Yield raw MRT records from an open binary stream, one record at a time.
+
+    Unlike :func:`iter_raw_records` this never materialises the whole
+    archive: only the current record's header and payload are held in
+    memory, which is what lets multi-gigabyte update dumps replay
+    through :meth:`ObservationArchive.from_mrt` without slurping.
+    """
+    while True:
+        header = stream.read(MRT_HEADER_LENGTH)
+        if not header:
+            return
+        if len(header) < MRT_HEADER_LENGTH:
+            # A short read at EOF can still be a partial header.
+            header += _read_exact(stream, MRT_HEADER_LENGTH - len(header), "MRT common header")
+        timestamp, mrt_type, subtype, length = struct.unpack("!IHHI", header)
         microseconds = 0
         payload_length = length
         if mrt_type == int(MrtType.BGP4MP_ET):
             if payload_length < 4:
                 raise MrtError("BGP4MP_ET record too short for the microsecond field")
-            if offset + 4 > total:
-                raise MrtTruncatedError("truncated BGP4MP_ET microsecond field")
-            microseconds = struct.unpack("!I", data[offset:offset + 4])[0]
-            offset += 4
+            microseconds = struct.unpack(
+                "!I", _read_exact(stream, 4, "BGP4MP_ET microsecond field")
+            )[0]
             payload_length -= 4
-        if offset + payload_length > total:
-            raise MrtTruncatedError("truncated MRT record payload")
-        payload = data[offset:offset + payload_length]
-        offset += payload_length
+        payload = _read_exact(stream, payload_length, "MRT record payload") if payload_length else b""
         yield MrtRecord(timestamp, mrt_type, subtype, payload, microseconds)
 
 
@@ -232,40 +257,58 @@ def decode_rib_prefix_record(record: MrtRecord) -> RibPrefixRecord:
     return RibPrefixRecord(sequence=sequence, prefix=prefix, entries=tuple(entries))
 
 
+def _decode_record(record: MrtRecord):
+    """Dispatch one raw record to its specialised decoder (or pass it through)."""
+    if record.is_bgp4mp and record.subtype in (
+        int(Bgp4mpSubtype.MESSAGE),
+        int(Bgp4mpSubtype.MESSAGE_AS4),
+    ):
+        return decode_bgp4mp_message(record)
+    if record.is_table_dump_v2 and record.subtype == int(TableDumpV2Subtype.PEER_INDEX_TABLE):
+        return decode_peer_index_table(record)
+    if record.is_table_dump_v2 and record.subtype in (
+        int(TableDumpV2Subtype.RIB_IPV4_UNICAST),
+        int(TableDumpV2Subtype.RIB_IPV6_UNICAST),
+    ):
+        return decode_rib_prefix_record(record)
+    return record
+
+
 class MrtReader:
     """Iterator over decoded records of an MRT byte stream.
 
     Yields :class:`Bgp4mpMessage`, :class:`PeerIndexTable`,
     :class:`RibPrefixRecord`, or raw :class:`MrtRecord` objects for
     record types the reader does not specialise.
+
+    A reader is backed either by an in-memory buffer (``MrtReader(data)``)
+    or by a file (:meth:`from_file`), which is decoded **record at a
+    time** — each iteration pass re-opens the file and streams it, so
+    arbitrarily large archives never have to fit in memory.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes | None = None, *, path: str | Path | None = None):
+        if (data is None) == (path is None):
+            raise MrtError("MrtReader needs exactly one of a byte buffer or a path")
         self._data = data
+        self._path = Path(path) if path is not None else None
 
     @classmethod
     def from_file(cls, path: str | Path) -> "MrtReader":
-        """Read the whole file into memory and return a reader over it."""
-        return cls(Path(path).read_bytes())
+        """Return a streaming reader over ``path`` (no whole-file slurp)."""
+        return cls(path=path)
+
+    def _raw_records(self) -> Iterator[MrtRecord]:
+        if self._path is not None:
+            with self._path.open("rb") as stream:
+                yield from iter_stream_records(stream)
+        else:
+            assert self._data is not None
+            yield from iter_raw_records(self._data)
 
     def __iter__(self):
-        for record in iter_raw_records(self._data):
-            if record.is_bgp4mp and record.subtype in (
-                int(Bgp4mpSubtype.MESSAGE),
-                int(Bgp4mpSubtype.MESSAGE_AS4),
-            ):
-                yield decode_bgp4mp_message(record)
-            elif record.is_table_dump_v2 and record.subtype == int(
-                TableDumpV2Subtype.PEER_INDEX_TABLE
-            ):
-                yield decode_peer_index_table(record)
-            elif record.is_table_dump_v2 and record.subtype in (
-                int(TableDumpV2Subtype.RIB_IPV4_UNICAST),
-                int(TableDumpV2Subtype.RIB_IPV6_UNICAST),
-            ):
-                yield decode_rib_prefix_record(record)
-            else:
-                yield record
+        for record in self._raw_records():
+            yield _decode_record(record)
 
     def messages(self) -> Iterator[Bgp4mpMessage]:
         """Yield only the BGP4MP update messages."""
@@ -280,5 +323,5 @@ def read_records(path: str | Path) -> list:
 
 
 def read_stream(stream: BinaryIO) -> list:
-    """Read and decode every record from an open binary stream."""
-    return list(MrtReader(stream.read()))
+    """Read and decode every record from an open binary stream (single pass)."""
+    return [_decode_record(record) for record in iter_stream_records(stream)]

@@ -37,6 +37,20 @@ class CommunityPropagationPolicy:
         """Return the communities to attach when exporting to ``neighbor_asn``."""
         raise NotImplementedError
 
+    def neighbor_signature(self, neighbor_asn: int) -> object:
+        """A hashable token capturing how this policy treats ``neighbor_asn``.
+
+        Two neighbors with equal signatures are guaranteed to receive
+        identical :meth:`outbound_communities` results for any input —
+        the contract the collector-harvest export memo relies on to pay
+        the rewrite chain once per peer instead of once per (peer,
+        collector) session.  The base implementation returns the
+        neighbor ASN itself, i.e. *no* cross-neighbor sharing: a custom
+        subclass is never wrongly memoised just because it forgot to
+        override this.
+        """
+        return neighbor_asn
+
     def describe(self) -> str:
         """Human-readable one-line description."""
         return self.behavior.value
@@ -52,6 +66,9 @@ class ForwardAllPolicy(CommunityPropagationPolicy):
         self, communities: CommunitySet, own_asn: int, neighbor_asn: int
     ) -> CommunitySet:
         return communities
+
+    def neighbor_signature(self, neighbor_asn: int) -> object:
+        return None
 
 
 @dataclass
@@ -69,6 +86,9 @@ class StripAllPolicy(CommunityPropagationPolicy):
             return communities.keep_asn(own_asn)
         return CommunitySet()
 
+    def neighbor_signature(self, neighbor_asn: int) -> object:
+        return None
+
 
 @dataclass
 class StripOwnPolicy(CommunityPropagationPolicy):
@@ -80,6 +100,9 @@ class StripOwnPolicy(CommunityPropagationPolicy):
         self, communities: CommunitySet, own_asn: int, neighbor_asn: int
     ) -> CommunitySet:
         return communities.remove_asn(own_asn)
+
+    def neighbor_signature(self, neighbor_asn: int) -> object:
+        return None
 
 
 @dataclass
@@ -103,3 +126,7 @@ class SelectivePolicy(CommunityPropagationPolicy):
         if neighbor_asn in self.forward_to_neighbors:
             return remaining
         return remaining.keep_asn(own_asn)
+
+    def neighbor_signature(self, neighbor_asn: int) -> object:
+        # The only neighbor-dependence is allow-list membership.
+        return neighbor_asn in self.forward_to_neighbors

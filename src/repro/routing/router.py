@@ -420,8 +420,32 @@ class Router:
         return [p for p in prefixes if self._refresh_best(p)]
 
     # ----------------------------------------------------------------- export
+    def export_memo_key(self, neighbor_asn: int) -> tuple:
+        """The key under which export rewrites to ``neighbor_asn`` may be shared.
+
+        Everything the outbound-attribute rewrite reads beyond the best
+        route itself is per-router constant (vendor, send-community
+        configuration) except two neighbor-dependent inputs: the
+        propagation policy's treatment of the neighbor (see
+        :meth:`CommunityPropagationPolicy.neighbor_signature`) and any
+        per-session export community additions.  Two sessions with equal
+        keys therefore receive byte-identical outbound attributes for
+        the same best route — which is how the collector harvest lets N
+        collectors sharing one peer pay the rewrite chain once.
+        """
+        return (
+            "shared-export",
+            self.asn,
+            self.propagation_policy.neighbor_signature(neighbor_asn),
+            self.export_community_additions.get(neighbor_asn),
+        )
+
     def export_to(
-        self, neighbor_asn: int, prefix: Prefix, cache: dict | None = None
+        self,
+        neighbor_asn: int,
+        prefix: Prefix,
+        cache: dict | None = None,
+        shared_key: tuple | None = None,
     ) -> ExportDecision:
         """Decide whether and how the current best route for ``prefix`` is exported.
 
@@ -433,6 +457,14 @@ class Router:
         attributes) instead of once per prefix.  The cache must not
         outlive the propagation pass — policies, sessions and export
         additions may change between passes.
+
+        ``shared_key`` (a :meth:`export_memo_key` value) replaces the
+        ``(router, neighbor)`` part of the memo key so sessions with
+        identical export-relevant configuration share entries; the
+        per-route gates (split horizon, scoping communities, suppress /
+        selective-announce sets, valley-free rule) still run against the
+        concrete ``neighbor_asn`` before the memo is consulted, so only
+        the rewrite tail is shared.
         """
         relationship_out = self.relationship_with(neighbor_asn)
         if relationship_out is None:
@@ -475,7 +507,10 @@ class Router:
 
         key = None
         if cache is not None:
-            key = (self.asn, neighbor_asn, attributes, best.export_prepend)
+            if shared_key is not None:
+                key = (shared_key, attributes, best.export_prepend)
+            else:
+                key = (self.asn, neighbor_asn, attributes, best.export_prepend)
             memo = cache.get(key)
             if memo is not None:
                 outbound_attributes, origin_asn = memo
@@ -525,11 +560,22 @@ class Router:
         )
         return ExportDecision(True, announcement=announcement)
 
-    def export_all_to(self, neighbor_asn: int) -> list[Announcement]:
-        """Export every best route to one neighbor (used for collector feeds)."""
+    def export_all_to(
+        self,
+        neighbor_asn: int,
+        cache: dict | None = None,
+        shared_key: tuple | None = None,
+    ) -> list[Announcement]:
+        """Export every best route to one neighbor (used for collector feeds).
+
+        ``cache``/``shared_key`` are the :meth:`export_to` memo hooks:
+        the collector harvest passes a cache scoped to the whole harvest
+        plus this router's :meth:`export_memo_key` so every collector
+        session of one peer shares the rewrite work.
+        """
         announcements = []
         for prefix in self.loc_rib.prefixes():
-            decision = self.export_to(neighbor_asn, prefix)
+            decision = self.export_to(neighbor_asn, prefix, cache, shared_key=shared_key)
             if decision.export and decision.announcement is not None:
                 announcements.append(decision.announcement)
         return announcements

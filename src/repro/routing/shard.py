@@ -89,6 +89,15 @@ def shard_worker_budget() -> int:
     return os.cpu_count() or 1
 
 
+def _mix_to_shard(value: int, key: int, shard_count: int) -> int:
+    """The shared 64-bit multiply/xor-shift mix behind every shard hash."""
+    mixed = (value * _MIX_A + key * _MIX_B) & _MASK
+    mixed ^= mixed >> 29
+    mixed = (mixed * _MIX_B) & _MASK
+    mixed ^= mixed >> 32
+    return mixed % shard_count
+
+
 def stable_shard(prefix: Prefix, shard_count: int) -> int:
     """Deterministically map ``prefix`` to a shard in ``[0, shard_count)``.
 
@@ -98,12 +107,17 @@ def stable_shard(prefix: Prefix, shard_count: int) -> int:
     object identity semantics; this keeps placement a pure function of
     the prefix value in every interpreter.
     """
-    key = (int(prefix.family) << 8) ^ prefix.length
-    mixed = (prefix.network * _MIX_A + key * _MIX_B) & _MASK
-    mixed ^= mixed >> 29
-    mixed = (mixed * _MIX_B) & _MASK
-    mixed ^= mixed >> 32
-    return mixed % shard_count
+    return _mix_to_shard(prefix.network, (int(prefix.family) << 8) ^ prefix.length, shard_count)
+
+
+def stable_asn_shard(asn: int, shard_count: int) -> int:
+    """Deterministically map an ASN to a shard in ``[0, shard_count)``.
+
+    The collector harvest partitions its (collector, peer) work-list by
+    *peer*, so every collector session of one peer lands on the same
+    shard and the per-peer export memo pays the rewrite chain once.
+    """
+    return _mix_to_shard(asn, 0x5157, shard_count)
 
 
 def partition_events(
@@ -349,12 +363,18 @@ class ShardPool:
             )
         return self._executor
 
-    def run(self, tasks: Sequence[tuple]) -> list[tuple]:
-        """Run every shard task; results come back in task order."""
+    def run(self, tasks: Sequence[tuple], fn=None) -> list[tuple]:
+        """Run every shard task; results come back in task order.
+
+        ``fn`` selects the worker entry point (default: the propagation
+        shard runner).  The collector harvest passes its own runner and
+        reuses the same warm workers — one snapshot, one pool, both
+        subsystems.
+        """
         tasks = list(tasks)
         if not tasks:
             return []
-        return list(self._ensure().map(_run_shard, tasks))
+        return list(self._ensure().map(fn or _run_shard, tasks))
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker processes (idempotent)."""

@@ -55,15 +55,24 @@ def run_propagation_check(
     platform: InjectionPlatform,
     deployment: CollectorDeployment,
     community_value: int = BENIGN_COMMUNITY_VALUE,
+    harvest_shards: int | str | None = None,
 ) -> PropagationCheckResult:
-    """Announce a benign-community-tagged prefix from ``platform`` and measure propagation."""
+    """Announce a benign-community-tagged prefix from ``platform`` and measure propagation.
+
+    ``harvest_shards`` fans the collector harvest over worker processes
+    (see :mod:`repro.collectors.harvest`); the observations are
+    byte-identical to a serial harvest.
+    """
     asn_part = platform.asn if platform.asn <= 0xFFFF else 0
     benign = Community(asn_part, community_value)
     test_prefix = platform.allocated_prefixes[0].subprefix(24, 0)
 
     simulator = BgpSimulator(topology)
-    platform.announce(simulator, test_prefix, communities=CommunitySet.of(benign))
-    archive = deployment.collect_from_simulator(simulator)
+    try:
+        platform.announce(simulator, test_prefix, communities=CommunitySet.of(benign))
+        archive = deployment.collect_from_simulator(simulator, shards=harvest_shards)
+    finally:
+        simulator.close()
 
     result = PropagationCheckResult(
         platform_name=platform.name, benign_community=benign, test_prefix=test_prefix
@@ -106,6 +115,7 @@ class PropagationCheckExperiment(Experiment):
                 platform,
                 deployment,
                 community_value=int(self.param("community_value")),
+                harvest_shards=self.propagation_shards(),
             )
             ctx.scratch[platform.name] = check
             checks.append(

@@ -74,11 +74,14 @@ class TestObservations:
         assert all(Community(1, 100) in o.communities for o in loaded)
         assert {o.as_path for o in loaded} == {(10, 5, 1), (20, 5, 1)}
 
-    def test_mrt_export_skips_ipv6(self, tmp_path):
+    def test_mrt_export_includes_ipv6(self, tmp_path):
         archive = ObservationArchive(
             [make_observation(), make_observation(prefix="2001:db8::/32")]
         )
-        assert archive.write_mrt(tmp_path / "x.mrt") == 1
+        path = tmp_path / "x.mrt"
+        assert archive.write_mrt(path) == 2
+        loaded = ObservationArchive.from_mrt(path)
+        assert {str(o.prefix) for o in loaded} == {"203.0.113.0/24", "2001:db8::/32"}
 
 
 class TestDeployment:
