@@ -15,7 +15,10 @@ Sub-commands:
 * ``sweep``     — alias for ``run blackhole-sweep`` (Section 7.6);
 * ``propagation`` — alias for ``run propagation-check`` (Section 7.2);
 * ``export-mrt`` — write an observation archive (synthetic dataset or a
-  live, optionally sharded collector harvest) to an MRT file.
+  live, optionally sharded collector harvest) to an MRT file;
+* ``stream``    — feed a JSON-lines announce/withdraw event stream
+  through the coalescing front end (:mod:`repro.routing.stream`) into a
+  (optionally sharded, resident) simulation.
 """
 
 from __future__ import annotations
@@ -36,15 +39,25 @@ def _build_dataset(seed: int, scale: str):
     return build_default_dataset(spec.build_topology(), DatasetParameters(seed=seed))
 
 
-def _parse_params(pairs: list[str]) -> dict:
-    """Parse repeated ``--param key=value`` flags (values read as JSON when possible)."""
+def _parse_params(pairs: list[str], parser: argparse.ArgumentParser | None = None) -> dict:
+    """Parse repeated ``--param key=value`` flags (values read as JSON when possible).
+
+    Malformed tokens fail through ``parser.error`` (usage line, the
+    offending token named, exit code 2) when a parser is given.
+    """
+
+    def fail(message: str) -> None:
+        if parser is not None:
+            parser.error(message)
+        raise SystemExit(f"error: {message}")
+
     params: dict = {}
     for pair in pairs:
         key, separator, raw = pair.partition("=")
         if not separator or not key:
-            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+            fail(f"argument --param: expected KEY=VALUE, got {pair!r}")
         if key in ("seed", "scale"):
-            raise SystemExit(f"error: use --{key}, not --param {key}=...")
+            fail(f"argument --param: use --{key} instead of --param {pair!r}")
         try:
             params[key] = json.loads(raw)
         except json.JSONDecodeError:
@@ -78,11 +91,30 @@ def _print_outcome(experiment, result, as_json: bool = False) -> int:
 # ------------------------------------------------------------ registry-driven
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.exceptions import ExperimentError
+    from repro.experiments import get
 
+    parser: argparse.ArgumentParser = args.parser
+    params = _parse_params(args.param, parser)
     try:
-        experiment, result = _run_named(
-            args.experiment, args.seed, args.scale, **_parse_params(args.param)
-        )
+        experiment_cls = get(args.experiment)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # Unknown parameter names fail as argparse errors naming the exact
+    # offending --param token, before any spec or topology work starts.
+    known = set(experiment_cls.default_params) | set(experiment_cls.optional_params)
+    for token in args.param:
+        key = token.partition("=")[0]
+        if key and key not in known:
+            parser.error(
+                f"argument --param: unknown parameter {key!r} for experiment "
+                f"{args.experiment!r} (from {token!r}); known: "
+                f"{', '.join(sorted(known)) or 'none'}"
+            )
+    try:
+        spec = experiment_cls.default_spec(seed=args.seed, scale=args.scale, **params)
+        experiment = experiment_cls(spec)
+        result = experiment.run()
     except ExperimentError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -180,6 +212,60 @@ def _cmd_export_mrt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Feed a JSON-lines event stream through the coalescing front end."""
+    from repro.exceptions import RoutingError
+    from repro.experiments import ExperimentSpec
+    from repro.routing.engine import BgpSimulator
+    from repro.routing.stream import DEFAULT_WINDOW, SimulatorService, read_event_stream
+
+    spec = ExperimentSpec(name="report", seed=args.seed, scale=args.scale)
+    topology = spec.build_topology()
+    simulator = BgpSimulator(topology, shards=args.shards)
+    try:
+        if args.preseed:
+            simulator.announce_originated()
+        window = args.window if args.window is not None else DEFAULT_WINDOW
+        service = SimulatorService(simulator, window=window)
+        try:
+            if args.events == "-":
+                for event in read_event_stream(sys.stdin):
+                    service.feed(event)
+            else:
+                with open(args.events, "r", encoding="utf-8") as handle:
+                    for event in read_event_stream(handle):
+                        service.feed(event)
+            service.drain()
+        except (RoutingError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        stats = service.stats
+        summary = {
+            "events_seen": stats.events_seen,
+            "events_coalesced": stats.events_coalesced,
+            "events_applied": stats.events_applied,
+            "batches": stats.batches,
+            "prefixes": len(simulator.report.prefixes),
+            "announcements_processed": simulator.report.announcements_processed,
+            "rounds": simulator.report.rounds,
+        }
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(
+                f"{stats.events_seen} events in, {stats.events_coalesced} coalesced away, "
+                f"{stats.events_applied} applied in {stats.batches} batch(es)"
+            )
+            print(
+                f"{summary['prefixes']} prefixes converged; "
+                f"{summary['announcements_processed']} announcements processed "
+                f"over {summary['rounds']} worklist steps"
+            )
+    finally:
+        simulator.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -218,7 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the result to FILE as JSON lines (replay with experiments.load_results)",
     )
-    run.set_defaults(func=_cmd_run)
+    run.set_defaults(func=_cmd_run, parser=run)
 
     listing = subparsers.add_parser("list", help="list the registered experiments")
     listing.add_argument("--json", action="store_true", help="print the catalogue as JSON")
@@ -265,6 +351,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(or 'auto'; harvest source only)",
     )
     export.set_defaults(func=_cmd_export_mrt)
+
+    stream = subparsers.add_parser(
+        "stream",
+        parents=[seeded, scaled],
+        help="feed a JSON-lines announce/withdraw event stream into a simulation",
+        description=(
+            "Read one JSON object per line — "
+            '{"origin": 65001, "prefix": "10.0.0.0/24", "withdraw": false, '
+            '"communities": ["65001:666"], "spoofed_origin": 0} '
+            "(only origin and prefix are required) — coalesce per-(origin, prefix) "
+            "bursts last-writer-wins, and converge the batches on the topology "
+            "the --seed/--scale spec describes."
+        ),
+    )
+    stream.add_argument("events", help="JSON-lines event file, or '-' for stdin")
+    stream.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="buffered (origin, prefix) keys per automatic drain "
+        "(default: repro.routing.stream.DEFAULT_WINDOW)",
+    )
+    stream.add_argument(
+        "--shards",
+        type=_parse_shards,
+        default=None,
+        metavar="K",
+        help="propagation shard policy for the convergence batches (or 'auto')",
+    )
+    stream.add_argument(
+        "--preseed",
+        action="store_true",
+        help="announce the topology's recorded originations before the stream",
+    )
+    stream.add_argument("--json", action="store_true", help="print the summary as JSON")
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

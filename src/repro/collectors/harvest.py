@@ -12,19 +12,22 @@ This module is the subsystem that replaces that loop:
   export cache keyed by :meth:`Router.export_memo_key`, so N collectors
   peering with the same AS pay the policy/prepend/rewrite chain once
   per distinct best route instead of N times;
-* :func:`harvest_archive` with ``shards=K`` partitions the work-list
-  **by peer** (:func:`repro.routing.shard.stable_asn_shard` — all of a
-  peer's sessions land on one shard so the memo still pays once) and
-  drives the shards through the owning simulator's fork-once
-  :class:`~repro.routing.shard.ShardPool`.  Workers rebuild each peer's
-  Loc-RIB from the shipped best routes, run the same memoised export
-  core, and return observation rows tagged with their work-list index;
-  the parent merges them back in index order — the resulting archive is
-  byte-identical to the serial loop for every shard count.
+* :func:`harvest_archive` with ``shards=K`` exports from the
+  **resident** Loc-RIBs of the owning simulator's slot-pinned
+  :class:`~repro.routing.shard.ShardPool`: each worker already holds
+  the converged state of its prefix shards from propagation, so a
+  harvest ships only the parent's pending-sync backlog (nothing, when
+  the last batches ran sharded) plus the work-list — no per-harvest
+  best-route re-shipping.  Every worker runs the same memoised export
+  core over the full work-list restricted to its resident prefixes and
+  returns observation rows tagged with their work-list index; the
+  parent merges each item's rows back in its own per-peer Loc-RIB
+  insertion order — the resulting archive is byte-identical to the
+  serial loop for every shard count.
 
 Parallelism composes with the rest of the system: the pool is the same
-one sharded propagation uses (one topology snapshot, one set of warm
-workers) and its size is capped by
+one sharded propagation uses (one topology snapshot, one set of warm,
+resident workers) and its size is capped by
 :func:`repro.routing.shard.shard_worker_budget`, which
 :class:`~repro.experiments.grid.GridRunner` pins per grid worker via
 ``REPRO_SHARD_BUDGET`` — grid × shard × harvest parallelism never
@@ -34,12 +37,14 @@ oversubscribes the machine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
-from repro.bgp.rib import LocRib
 from repro.collectors.observation import ObservationArchive, RouteObservation
 from repro.routing.engine import AUTO_SHARD_MAX, AUTO_SHARD_MIN_BUDGET
 from repro.topology.relationships import Relationship
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.bgp.prefix import Prefix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.bgp.route import Announcement
@@ -162,59 +167,30 @@ def resolve_harvest_shards(
 
 
 # ---------------------------------------------------------------- sharded path
-#: One shard's task payload: its work items, each distinct peer's
-#: Loc-RIB best routes (in Loc-RIB order), the peers' export community
-#: additions, and the harvest timestamp.
+#: One slot's task payload: ``(epoch, router_config | None, additions,
+#: items, states, timestamp)`` — the same sync header the propagation
+#: tasks carry, the full work-list, and the slot's pending state deltas.
 HarvestTask = tuple
 
 
-def _capture_peer_state(simulator: "BgpSimulator", peer_asns: Iterable[int]) -> tuple:
-    """Snapshot each peer router's best routes, preserving Loc-RIB order.
-
-    The order matters: ``export_all_to`` walks ``loc_rib.prefixes()``,
-    so the worker must rebuild the table in the parent's insertion
-    order for the exported announcement sequence — and therefore the
-    merged archive — to be byte-identical.
-    """
-    states = []
-    for peer_asn in peer_asns:
-        loc_rib = simulator.router(peer_asn).loc_rib
-        entries = tuple((prefix, loc_rib.best(prefix)) for prefix in loc_rib.prefixes())
-        states.append((peer_asn, entries))
-    return tuple(states)
-
-
 def _run_harvest_shard(task: HarvestTask) -> list[tuple[int, list[RouteObservation]]]:
-    """Worker entry point: rebuild the shard's peers, export, tag with indexes."""
+    """Worker entry point: export the work-list from the resident Loc-RIBs.
+
+    The worker's routers already hold the converged state of this
+    slot's prefix shards (``states`` carries only what the parent
+    mutated since the last dispatch), so each item's export is simply
+    ``export_all_to`` over the resident table — which contains exactly
+    this slot's share of the peer's prefixes.  Rows are tagged with
+    their work-list index; the parent reorders each item's merged rows
+    into its own Loc-RIB order.
+    """
     from repro.routing import shard as shard_module
 
-    simulator = shard_module._WORKER_SIMULATOR
-    if simulator is None:  # pragma: no cover - initializer always ran
-        raise RuntimeError("harvest worker used before initialization")
-    items, peer_states, additions, timestamp = task
-    for peer_asn, entries in peer_states:
-        router = simulator.routers[peer_asn]
-        # Replace the Loc-RIB wholesale with the parent's best routes.
-        # The LPM trie is left empty on purpose: exports never do LPM
-        # lookups, and a later propagation task on this worker clears
-        # and reinstalls its own prefixes through the public API anyway.
-        fresh = LocRib()
-        for prefix, best in entries:
-            fresh._best[prefix] = best
-        router.loc_rib = fresh
-        # Mirror the parent's additions AND keep the shard module's
-        # bookkeeping honest: a later propagation task clears exactly
-        # the ASNs in _WORKER_ADDITION_ASNS, so any addition this task
-        # sets (or clears) must be reflected there — otherwise a
-        # harvest-installed addition would silently outlive a parent
-        # that since dropped it, and sharded applies would diverge.
-        peer_additions = additions.get(peer_asn)
-        if peer_additions:
-            router.export_community_additions = dict(peer_additions)
-            shard_module._WORKER_ADDITION_ASNS.add(peer_asn)
-        else:
-            router.export_community_additions = {}
-            shard_module._WORKER_ADDITION_ASNS.discard(peer_asn)
+    epoch, router_config, additions, items, states, timestamp = task
+    simulator = shard_module._resident_simulator()
+    shard_module._sync_worker(simulator, epoch, router_config)
+    shard_module.install_prefix_state(simulator, states, stale=None)
+    shard_module._install_additions(simulator, additions)
     export_cache: dict = {}
     results: list[tuple[int, list[RouteObservation]]] = []
     for item in items:
@@ -230,38 +206,79 @@ def _harvest_sharded(
     timestamp: float,
     shard_count: int,
 ) -> ObservationArchive:
-    """Partition by peer, export in the worker pool, merge in work-list order."""
-    from repro.routing.shard import stable_asn_shard
+    """Export from the resident workers, merge in work-list + Loc-RIB order."""
+    from repro.routing import shard as shard_module
 
     # The parent registers every session too, exactly like the serial
     # path — parent simulator state is identical whichever path ran.
+    # (Collector sessions never influence propagation, so they do not
+    # perturb the pool's config epoch either.)
     for item in items:
         simulator.register_collector_peering(item.peer_asn, item.collector_asn)
-    groups: dict[int, list[HarvestItem]] = {}
-    for item in items:
-        groups.setdefault(stable_asn_shard(item.peer_asn, shard_count), []).append(item)
-    tasks = []
-    for _shard_index, group in sorted(groups.items()):
-        peer_order: list[int] = []
-        seen: set[int] = set()
-        for item in group:
-            if item.peer_asn not in seen:
-                seen.add(item.peer_asn)
-                peer_order.append(item.peer_asn)
-        additions = {
-            asn: dict(simulator.router(asn).export_community_additions)
-            for asn in peer_order
-            if simulator.router(asn).export_community_additions
+    pool = simulator._ensure_pool(shard_count)
+    simulator._refresh_pool_epoch(pool)
+    # A harvest reads *every* resident Loc-RIB, so the parent's entire
+    # pending-sync backlog must flush — grouped by the slot that owns
+    # each prefix.  Slots that hold no state at all are never dispatched.
+    slot_sync: dict[int, dict["Prefix", set[int]]] = {}
+    for prefix in list(simulator._pending_sync):
+        slot = pool.slot_for(shard_module.stable_shard(prefix, pool.shards))
+        slot_sync.setdefault(slot, {})[prefix] = simulator._pending_sync.pop(prefix)
+    live_slots = sorted(
+        {
+            pool.slot_for(shard_module.stable_shard(prefix, pool.shards))
+            for prefix, holders in simulator._prefix_holders.items()
+            if holders
         }
-        tasks.append(
-            (tuple(group), _capture_peer_state(simulator, peer_order), additions, timestamp)
-        )
-    pool = simulator._ensure_pool(len(tasks))
-    outcomes = pool.run(tasks, fn=_run_harvest_shard)
-    rows = [row for outcome in outcomes for row in outcome]
-    rows.sort(key=lambda pair: pair[0])
+    )
+    additions = {
+        asn: dict(router.export_community_additions)
+        for asn, router in simulator.routers.items()
+        if router.export_community_additions
+    }
+    items_tuple = tuple(items)
+    futures = []
+    try:
+        for slot in live_slots:
+            sync = slot_sync.get(slot, {})
+            states = shard_module.capture_prefix_state(simulator, list(sync), holders=sync)
+            epoch, config = pool.sync_header(slot, lambda: simulator._pool_config)
+            pool.shipped_state_entries += len(states)
+            futures.append(
+                pool.submit(
+                    slot,
+                    _run_harvest_shard,
+                    (epoch, config, additions, items_tuple, states, timestamp),
+                )
+            )
+        outcomes = [future.result() for future in futures]
+    except BaseException:
+        simulator._invalidate_pool()
+        raise
+    # Merge: each item's observations arrive split across slots; the
+    # serial export order is the parent peer's Loc-RIB insertion order,
+    # so sort each item's rows by the parent's own position map.
+    by_item: dict[int, list[RouteObservation]] = {}
+    for rows in outcomes:
+        for index, observations in rows:
+            if observations:
+                by_item.setdefault(index, []).extend(observations)
+    order_cache: dict[int, dict["Prefix", int]] = {}
     archive = ObservationArchive()
-    for _index, observations in rows:
+    for item in items:
+        observations = by_item.get(item.index)
+        if not observations:
+            continue
+        order = order_cache.get(item.peer_asn)
+        if order is None:
+            order = {
+                prefix: position
+                for position, prefix in enumerate(
+                    simulator.router(item.peer_asn).loc_rib.prefixes()
+                )
+            }
+            order_cache[item.peer_asn] = order
+        observations.sort(key=lambda observation: order.get(observation.prefix, len(order)))
         archive.extend(observations)
     return archive
 
@@ -280,14 +297,13 @@ def harvest_archive(
     sharded too), falling back to serial when the simulator also left
     it unset.  The archive is byte-identical whichever path runs.
 
-    The sharded path inherits the worker-pool contract of
-    :mod:`repro.routing.shard`: worker routers mirror the parent's
-    configuration as of pool creation, so router config (policies,
-    vendor, filters) changed *after* the first sharded call is not
-    reflected — reconfigure first, or :meth:`BgpSimulator.close` to
-    force a fresh snapshot.  Loc-RIB bests and per-session export
-    community additions are re-shipped with every harvest and are
-    always current.
+    The sharded path inherits the resident worker-pool contract of
+    :mod:`repro.routing.shard`: router config changes (policies,
+    vendor, filters) are detected before dispatch and bump the pool's
+    state epoch, so workers re-sync automatically; per-router export
+    community additions are re-shipped with every task and are always
+    current.  A harvest flushes the parent's whole pending-sync backlog
+    — after it, every resident Loc-RIB mirrors the parent exactly.
     """
     if shards is None:
         shards = simulator.shards

@@ -130,6 +130,22 @@ class Experiment:
             return self.spec.params[key]
         return self.default_params.get(key, default)
 
+    def int_param(self, key: str, default: int) -> int:
+        """An integer experiment parameter, or a clear error naming it.
+
+        A non-integer override must surface as an
+        :class:`~repro.exceptions.ExperimentError` (caught by
+        :meth:`run` and the CLI) rather than a raw ``ValueError``
+        traceback out of ``int()``.
+        """
+        value = self.param(key, default)
+        try:
+            return int(value)
+        except (TypeError, ValueError):
+            raise ExperimentError(
+                f"experiment parameter {key!r} must be an integer, got {value!r}"
+            ) from None
+
     # ------------------------------------------------------- lifecycle stages
     def reject_topology_spec(self, ctx: ExperimentContext) -> None:
         """Fail loudly when a scale/topology override cannot take effect.
@@ -173,7 +189,7 @@ class Experiment:
         topology = ctx.require_topology()
         if platform_name == "peering":
             ctx.platforms[platform_name] = attach_peering_testbed(
-                topology, upstream_count=int(self.param("upstream_count", 10))
+                topology, upstream_count=self.int_param("upstream_count", 10)
             )
         elif platform_name == "research":
             ctx.platforms[platform_name] = attach_research_network(topology)
@@ -187,7 +203,7 @@ class Experiment:
             }
             ctx.platforms[platform_name] = AtlasPlatform.deploy(
                 topology,
-                probe_count=int(self.param("probes", 200)),
+                probe_count=self.int_param("probes", 200),
                 exclude_asns=exclude,
             )
         else:

@@ -13,6 +13,13 @@ from repro.routing.engine import (
 )
 from repro.routing.route_server import RouteServer, RouteServerDecision
 from repro.routing.shard import ShardPool, partition_events, shard_worker_budget, stable_shard
+from repro.routing.stream import (
+    SimulatorService,
+    StreamStats,
+    coalesce_events,
+    parse_event,
+    read_event_stream,
+)
 
 __all__ = [
     "best_path",
@@ -32,4 +39,9 @@ __all__ = [
     "stable_shard",
     "RouteServer",
     "RouteServerDecision",
+    "SimulatorService",
+    "StreamStats",
+    "coalesce_events",
+    "parse_event",
+    "read_event_stream",
 ]

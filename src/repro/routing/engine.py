@@ -51,16 +51,24 @@ layered as a scheduler over a pure per-shard core:
   in-process — one export memo and one import memo scoped to the call,
   which is what makes the core safe to run per shard;
 * with ``shards`` > 1 the batch is partitioned by a stable hash of
-  ``(family, network, length)`` into K shards, each driven by
-  ``_apply_local`` in a worker process of a fork-once pool that holds a
-  pickled topology snapshot (see :mod:`repro.routing.shard`), and the
-  per-shard :class:`SimulationReport`\\ s plus Loc-RIB/Adj-RIB-In deltas
-  are merged back so the parent ends up byte-identical to a sequential
-  run — incremental :meth:`DataPlane.rebuild` works unchanged;
+  ``(family, network, length)`` into the pool's pinned shard count, each
+  shard driven by ``_apply_local`` in its **resident** worker process
+  (see :mod:`repro.routing.shard`): workers keep their shards' RIB
+  state between batches, the parent ships only the events plus the
+  (prefix, router) pairs it mutated since the last dispatch (the
+  pending-sync set), and the per-shard :class:`SimulationReport`\\ s plus
+  Loc-RIB/Adj-RIB-In deltas are merged back so the parent ends up
+  byte-identical to a sequential run — incremental
+  :meth:`DataPlane.rebuild` works unchanged.  Router-config changes are
+  detected before every dispatch and bump the pool's state epoch, which
+  makes workers discard resident state and re-sync;
 * ``shards="auto"`` (the process default, see
   :func:`propagation_shards`) goes parallel only for batches of at
   least :data:`AUTO_SHARD_MIN_PREFIXES` distinct prefixes and only when
   the CPU budget covers :data:`AUTO_SHARD_MIN_BUDGET` workers.
+
+For incremental event streams (feed/drain with per-prefix coalescing)
+see :mod:`repro.routing.stream`, a thin front end over ``apply``.
 """
 
 from __future__ import annotations
@@ -265,6 +273,16 @@ class BgpSimulator:
         self._last_touched: dict[Prefix, set[int]] = {}
         self._shard_pool = None
         self._pool_finalizer: weakref.finalize | None = None
+        #: The (prefix -> routers) pairs the parent mutated since it last
+        #: shipped that prefix's state to its resident shard worker.
+        #: Seeded with the full holder map at pool construction; grown by
+        #: sequential applies run while a pool exists; drained by sharded
+        #: dispatches and harvests.  Empty for prefixes whose worker-side
+        #: state already equals the parent's.
+        self._pending_sync: dict[Prefix, set[int]] = {}
+        #: The router configuration capture the live pool's epoch
+        #: reflects (see ``_refresh_pool_epoch``).
+        self._pool_config: dict[int, tuple] | None = None
         for asys in topology:
             relationships = {
                 neighbor: topology.relationship(asys.asn, neighbor)
@@ -278,6 +296,8 @@ class BgpSimulator:
             self._pool_finalizer()
             self._pool_finalizer = None
         self._shard_pool = None
+        self._pool_config = None
+        self._pending_sync = {}
 
     def router(self, asn: int) -> Router:
         """Return the router of ``asn``."""
@@ -386,6 +406,12 @@ class BgpSimulator:
         shard_count = self._resolve_shards(shards, len({e.prefix for e in events}))
         if shard_count <= 1:
             report = self._apply_local(events)
+            if self._shard_pool is not None:
+                # A resident pool exists but this batch ran in-process:
+                # every pair it touched is now newer in the parent than
+                # in the workers, so it must ship with the next dispatch.
+                for prefix, touched in self._last_touched.items():
+                    self._pending_sync.setdefault(prefix, set()).update(touched)
         else:
             report = self._apply_sharded(events, shard_count)
         self.report.merge(report)
@@ -464,32 +490,57 @@ class BgpSimulator:
     def _apply_sharded(
         self, events: list[RoutingEvent], shard_count: int
     ) -> SimulationReport:
-        """Partition the batch by prefix and converge the shards in workers.
+        """Partition the batch by prefix and converge it on resident workers.
 
-        Each worker receives its shard's events plus the parent's
-        current state for exactly those prefixes, runs the same
-        ``_apply_local`` core, and sends back its report and the
-        resulting per-prefix state; the merge replays that state onto
-        the parent routers.  All results are materialised before any
-        merge, so a failing shard leaves the parent untouched.
+        Each worker already holds the converged state of its shards'
+        prefixes from earlier batches; the dispatch ships only the
+        events plus the pending-sync pairs the parent mutated since the
+        last call, runs the same ``_apply_local`` core, and ships back
+        the touched-pair deltas; the merge replays those onto the parent
+        routers.  All results are materialised before any merge, so a
+        failing shard leaves the parent untouched (the pool epoch is
+        bumped so the workers' partial state is discarded too).
         """
         from repro.routing import shard as shard_module
 
-        groups = shard_module.partition_events(events, shard_count)
-        pool = self._ensure_pool(len(groups))
+        pool = self._ensure_pool(shard_count)
+        self._refresh_pool_epoch(pool)
+        groups = shard_module.partition_events(events, pool.shards)
         additions = {
             asn: dict(router.export_community_additions)
             for asn, router in self.routers.items()
             if router.export_community_additions
         }
-        tasks = []
+        futures = []
         stale: set[Prefix] = set()
-        for _index, shard_events in groups:
-            prefixes = _distinct_prefixes(shard_events)
-            stale.update(p for p in prefixes if self._prefix_holders.get(p))
-            states = shard_module.capture_prefix_state(self, prefixes)
-            tasks.append((shard_events, states, additions))
-        outcomes = pool.run(tasks)
+        try:
+            for shard_index, shard_events in groups:
+                prefixes = _distinct_prefixes(shard_events)
+                stale.update(p for p in prefixes if self._prefix_holders.get(p))
+                sync: dict[Prefix, set[int]] = {}
+                for prefix in prefixes:
+                    pending = self._pending_sync.pop(prefix, None)
+                    if pending:
+                        sync[prefix] = pending
+                states = shard_module.capture_prefix_state(self, list(sync), holders=sync)
+                slot = pool.slot_for(shard_index)
+                epoch, config = pool.sync_header(slot, lambda: self._pool_config)
+                pool.shipped_state_entries += len(states)
+                futures.append(
+                    pool.submit(
+                        slot,
+                        shard_module._run_shard,
+                        (epoch, config, additions, shard_events, states),
+                    )
+                )
+            outcomes = [future.result() for future in futures]
+        except BaseException:
+            # Worker state is now unknowable (popped pending pairs were
+            # possibly never applied, some shards may have half-run):
+            # discard all residency.  Parent state is untouched — the
+            # merge below is all-or-nothing.
+            self._invalidate_pool()
+            raise
         report = SimulationReport()
         stale = frozenset(stale)
         for worker_report, deltas in outcomes:
@@ -497,28 +548,71 @@ class BgpSimulator:
             report.merge(worker_report)
         return report
 
-    def _ensure_pool(self, wanted_workers: int):
-        """The fork-once worker pool, grown (rebuilt) when a batch needs more."""
-        from repro.routing.shard import ShardPool, shard_worker_budget
+    def _ensure_pool(self, wanted_shards: int):
+        """The resident worker pool: rebuilt to grow *or* shrink.
+
+        The pool's shard count is pinned at construction (that is what
+        keeps shard-to-slot placement — and therefore worker residency —
+        stable across batches), so a batch wanting more shards than the
+        pool has forces a rebuild; so does a CPU budget that dropped
+        below the pool's worker count (``propagation_shards`` scope
+        exit, ``REPRO_SHARD_BUDGET`` change).  A rebuild restarts
+        residency: the pending-sync set is re-seeded with the full
+        holder map.
+        """
+        from repro.routing.shard import ShardPool, capture_router_config, shard_worker_budget
 
         limit = self.max_workers if self.max_workers is not None else shard_worker_budget()
-        workers = max(1, min(wanted_workers, limit))
         pool = self._shard_pool
-        if pool is not None and pool.workers < workers:
+        if pool is not None:
+            if wanted_shards <= pool.shards and pool.workers <= max(
+                1, min(pool.shards, limit)
+            ):
+                return pool
+            wanted_shards = max(wanted_shards, pool.shards)
             self.close()
-            pool = None
-        if pool is None:
-            from repro.routing.shard import capture_router_config
-
-            payload = pickle.dumps(
-                (self.topology, capture_router_config(self)),
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
-            pool = ShardPool(payload, max_rounds=self.max_rounds, workers=workers)
-            self._shard_pool = pool
-            # GC of the simulator must not leak worker processes.
-            self._pool_finalizer = weakref.finalize(self, ShardPool.shutdown, pool)
+        workers = max(1, min(wanted_shards, limit))
+        config = capture_router_config(self)
+        payload = pickle.dumps((self.topology, config), protocol=pickle.HIGHEST_PROTOCOL)
+        pool = ShardPool(
+            payload, max_rounds=self.max_rounds, workers=workers, shards=wanted_shards
+        )
+        self._shard_pool = pool
+        self._pool_config = config
+        self._pending_sync = {
+            prefix: set(holders) for prefix, holders in self._prefix_holders.items()
+        }
+        # GC of the simulator must not leak worker processes.
+        self._pool_finalizer = weakref.finalize(self, ShardPool.shutdown, pool)
         return pool
+
+    def _refresh_pool_epoch(self, pool) -> None:
+        """Bump the pool epoch when the router configuration changed.
+
+        Policy objects compare by identity (hand-swapping one is the
+        reconfiguration signal), so the capture comparison is exactly
+        "did anyone replace a router's config since the last dispatch".
+        An epoch bump makes every worker discard its resident state, so
+        the parent re-arms the pending-sync set with the full holder map.
+        """
+        from repro.routing.shard import capture_router_config
+
+        current = capture_router_config(self)
+        if current != self._pool_config:
+            self._pool_config = current
+            pool.bump_epoch()
+            self._pending_sync = {
+                prefix: set(holders) for prefix, holders in self._prefix_holders.items()
+            }
+
+    def _invalidate_pool(self) -> None:
+        """Discard all resident worker state (after a failed dispatch)."""
+        pool = self._shard_pool
+        if pool is not None:
+            pool.bump_epoch()
+            self._pending_sync = {
+                prefix: set(holders) for prefix, holders in self._prefix_holders.items()
+            }
 
     def _drive_prefix(
         self,

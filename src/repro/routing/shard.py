@@ -1,9 +1,9 @@
-"""Sharded multi-process propagation: partitioning, state transfer, worker pool.
+"""Resident sharded propagation: partitioning, delta shipping, stateful workers.
 
 PR 2 established that the propagation worklist partitions *exactly* by
 prefix: a ``(router, prefix)`` pair only ever enqueues pairs of the same
 prefix, so the per-prefix partitions are provably independent.  This
-module turns that property into a subsystem:
+module turns that property into a **long-lived service**:
 
 * :func:`stable_shard` — a deterministic hash of ``(family, network,
   length)`` mapping every prefix to one of K shards.  It is the same in
@@ -17,39 +17,53 @@ module turns that property into a subsystem:
   :func:`clear_prefix_state` — move the *complete* per-prefix control
   plane state (origination attributes, every Adj-RIB-In entry, and the
   derived best route) of the routers that hold any, between a parent
-  simulator and a shard worker.  Capture in the parent ships a prefix's
-  current state to its shard; capture in the worker after convergence
-  ships the result back; install replays it, re-running best-path
-  selection so the Loc-RIB (and its LPM trie) is rebuilt through the
-  exact same code path a sequential run uses.
-* :class:`ShardPool` — a fork-once ``ProcessPoolExecutor`` whose
-  workers build one :class:`BgpSimulator` each from a shared pickled
-  topology snapshot at start-up and reuse it across every ``apply`` of
-  the parent simulator's lifetime.  Between tasks a worker only clears
-  and re-seeds the prefixes of the incoming shard; residue on *other*
-  prefixes is harmless because convergence of a prefix never reads
-  another prefix's state.
+  simulator and a shard worker.  Install replays a snapshot, re-running
+  best-path selection so the Loc-RIB (and its LPM trie) is rebuilt
+  through the exact same code path a sequential run uses.
+* :class:`ShardPool` — K slot-pinned single-worker executors.  Shard
+  ``i`` always runs on slot ``i % workers`` (:meth:`ShardPool.slot_for`),
+  so a worker's **resident** RIB state for its shards stays valid across
+  batches.  The pickled ``(topology, router configuration)`` snapshot is
+  shipped once per worker at start-up; afterwards tasks carry only
+  events plus the parent-side *deltas* for their shard's prefixes.
 
-The contract: worker simulators mirror the parent's router
-configuration — topology-derived *and* hand-applied (policies,
-services, vendor profiles, inbound filter chains; see
-:func:`capture_router_config`) — as of pool creation, which happens
-lazily at the first sharded ``apply``; the per-router
-``export_community_additions`` are shipped with every task because the
-attack drivers flip them between passes.  Sessions registered later via
+Residency protocol
+------------------
+
+The parent (:class:`BgpSimulator`) and the workers keep each other
+consistent through two mechanisms:
+
+* **Pending sync set** (parent side): every (prefix, router) pair the
+  parent mutated since it last shipped that prefix to its slot — seeded
+  with the full holder map at pool construction, extended by sequential
+  applies and merge installs are excluded (the worker that produced a
+  delta already holds it).  A sharded ``apply`` pops and ships exactly
+  the pending pairs of its batch; a harvest flushes the whole backlog.
+* **State epochs**: :attr:`ShardPool.epoch` names the router-config
+  generation.  Before dispatch the parent re-captures the configuration
+  (:func:`capture_router_config`) and bumps the epoch when it changed;
+  each task carries ``(epoch, config-or-None)`` and a worker that sees a
+  newer epoch discards **all** resident state and re-applies the config
+  before converging (:func:`_sync_worker`).  A failed shard task also
+  bumps the epoch, so partially-converged worker state can never leak
+  into a later merge.
+
+The per-router ``export_community_additions`` are still shipped with
+every task because the attack drivers flip them between passes.
+Sessions registered via
 :meth:`BgpSimulator.register_collector_peering` do not influence
 propagation (collector ASes have no router, so exports to them are
-skipped).  Router configuration changed *after* the first sharded apply
-is the one thing not mirrored — reconfigure first, or call
-:meth:`BgpSimulator.close` to force a fresh snapshot.
+skipped).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Any, Iterable, Sequence
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.bgp.prefix import Prefix
 
@@ -63,10 +77,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 #: propagation parallelism never oversubscribes the machine.
 SHARD_BUDGET_ENV = "REPRO_SHARD_BUDGET"
 
+#: Environment variable enabling exact parent->worker ship accounting
+#: (:attr:`ShardPool.ship_bytes`).  Off by default: it pickles every
+#: task twice, which is pure overhead outside benchmarks.
+SHIP_STATS_ENV = "REPRO_SHIP_STATS"
+
 #: The complete state one router holds for one prefix:
 #: ``(prefix, asn, originated_attributes | None,
 #: ((neighbor_asn, adj_rib_in_entry), ...))``.
 PrefixState = tuple[Prefix, int, "PathAttributes | None", tuple]
+
+#: A shard task envelope: ``(epoch, router_config | None, additions,
+#: events, states)``.  ``router_config`` rides along only on the first
+#: task a slot sees after an epoch bump.
+ShardTask = tuple[int, "dict[int, tuple] | None", dict, list, list]
 
 _MIX_A = 0x9E3779B97F4A7C15
 _MIX_B = 0xBF58476D1CE4E5B9
@@ -111,12 +135,7 @@ def stable_shard(prefix: Prefix, shard_count: int) -> int:
 
 
 def stable_asn_shard(asn: int, shard_count: int) -> int:
-    """Deterministically map an ASN to a shard in ``[0, shard_count)``.
-
-    The collector harvest partitions its (collector, peer) work-list by
-    *peer*, so every collector session of one peer lands on the same
-    shard and the per-peer export memo pays the rewrite chain once.
-    """
+    """Deterministically map an ASN to a shard in ``[0, shard_count)``."""
     return _mix_to_shard(asn, 0x5157, shard_count)
 
 
@@ -147,8 +166,8 @@ def capture_prefix_state(
     captured too: installing their empty snapshot is what *clears* the
     receiving side.  ``holders`` overrides which (prefix, router) pairs
     are captured (default: everything the simulator ever touched); the
-    worker return path passes the last call's touched pairs so repeated
-    applies only ship what actually changed.
+    resident protocol passes the pending-sync / last-touched pair sets
+    so repeated applies only ship what actually changed.
     """
     states: list[PrefixState] = []
     holders_map = holders if holders is not None else simulator._prefix_holders
@@ -181,9 +200,8 @@ def install_prefix_state(
 
     ``stale`` lists the prefixes the receiver may already hold *other*
     state for (those slots are wiped before installing); ``None`` treats
-    every prefix as stale.  The merge path passes the parent's pre-batch
-    holder set — for the common fresh-announcement batch that set is
-    empty and the per-slot clearing sweep is skipped entirely.
+    every prefix as stale — the resident worker path, where any shipped
+    pair replaces whatever the worker held for it.
     """
     from repro.bgp.route import RouteEntry
     from repro.routing.decision import best_path
@@ -226,7 +244,7 @@ def install_prefix_state(
 
 
 def clear_prefix_state(simulator: "BgpSimulator", prefixes: Iterable[Prefix]) -> None:
-    """Erase all state ``simulator`` holds for ``prefixes`` (worker task reset)."""
+    """Erase all state ``simulator`` holds for ``prefixes`` (epoch reset)."""
     routers = simulator.routers
     for prefix in prefixes:
         for asn in simulator._prefix_holders.pop(prefix, ()):
@@ -241,23 +259,26 @@ def clear_prefix_state(simulator: "BgpSimulator", prefixes: Iterable[Prefix]) ->
 
 # ------------------------------------------------------------------- workers
 #: Per-worker-process simulator, built once from the pool's topology
-#: snapshot and reused for every task of the pool's lifetime.
+#: snapshot and kept **resident** — its per-shard RIB state survives
+#: between tasks and is only discarded on an epoch bump.
 _WORKER_SIMULATOR: "BgpSimulator | None" = None
+#: The configuration epoch this worker's simulator reflects.
+_WORKER_EPOCH: int = 0
 #: Routers whose ``export_community_additions`` the previous task set
 #: (cleared before the next task installs its own).
 _WORKER_ADDITION_ASNS: set[int] = set()
 
 
 def capture_router_config(simulator: "BgpSimulator") -> dict[int, tuple]:
-    """Snapshot every router's effective configuration for the pool payload.
+    """Snapshot every router's effective configuration.
 
     Routers derive their policy objects from the topology at
     construction, but call sites may swap them afterwards (a custom
-    inbound filter chain, a strict IRR, a vendor override).  Shipping
-    the parent's *actual* per-router configuration with the snapshot
-    means shard workers mirror those hand-applied changes too — the
-    remaining contract is only that configuration settles before the
-    first sharded ``apply`` (the pool snapshot is taken then).
+    inbound filter chain, a strict IRR, a vendor override).  The pool
+    payload carries the capture taken at pool construction; before every
+    sharded dispatch the parent re-captures and compares (``!=`` falls
+    back to identity for policy objects, which is exactly the hand-swap
+    signal) — a difference bumps the pool epoch so workers re-sync.
     """
     return {
         asn: (
@@ -271,13 +292,8 @@ def capture_router_config(simulator: "BgpSimulator") -> dict[int, tuple]:
     }
 
 
-def _initialize_worker(snapshot_payload: bytes, max_rounds: int) -> None:
-    """Pool initializer: unpickle the snapshot, build the mirrored simulator."""
-    global _WORKER_SIMULATOR
-    from repro.routing.engine import BgpSimulator
-
-    topology, router_config = pickle.loads(snapshot_payload)
-    simulator = BgpSimulator(topology, max_rounds=max_rounds, shards=1)
+def _apply_router_config(simulator: "BgpSimulator", router_config: dict[int, tuple]) -> None:
+    """Overwrite the worker simulator's per-router configuration."""
     for asn, config in router_config.items():
         router = simulator.routers.get(asn)
         if router is None:
@@ -289,7 +305,39 @@ def _initialize_worker(snapshot_payload: bytes, max_rounds: int) -> None:
             router.inbound_filters,
             router.send_community_configured,
         ) = config
+
+
+def _initialize_worker(snapshot_payload: bytes, max_rounds: int) -> None:
+    """Pool initializer: unpickle the snapshot, build the mirrored simulator."""
+    global _WORKER_SIMULATOR, _WORKER_EPOCH, _WORKER_ADDITION_ASNS
+    from repro.routing.engine import BgpSimulator
+
+    topology, router_config = pickle.loads(snapshot_payload)
+    simulator = BgpSimulator(topology, max_rounds=max_rounds, shards=1)
+    _apply_router_config(simulator, router_config)
     _WORKER_SIMULATOR = simulator
+    _WORKER_EPOCH = 0
+    _WORKER_ADDITION_ASNS = set()
+
+
+def _sync_worker(
+    simulator: "BgpSimulator", epoch: int, router_config: "dict[int, tuple] | None"
+) -> None:
+    """Bring a resident worker onto ``epoch`` before running a task.
+
+    A stale epoch means the parent's router configuration changed (or a
+    previous shard task failed): every resident pair was converged under
+    the old rules, so all of it is discarded — the parent re-ships what
+    the next batches need through its pending-sync set.
+    """
+    global _WORKER_EPOCH
+    if epoch == _WORKER_EPOCH:
+        return
+    clear_prefix_state(simulator, list(simulator._prefix_holders))
+    simulator._last_touched = {}
+    if router_config is not None:
+        _apply_router_config(simulator, router_config)
+    _WORKER_EPOCH = epoch
 
 
 def _install_additions(
@@ -308,76 +356,147 @@ def _install_additions(
     _WORKER_ADDITION_ASNS = set(additions)
 
 
-def _run_shard(
-    task: tuple[list["RoutingEvent"], list[PrefixState], dict[int, dict[int, Any]]],
-) -> tuple["SimulationReport", list[PrefixState]]:
-    """Worker entry point: converge one shard, return its report and deltas."""
-    from repro.routing.engine import _distinct_prefixes
-
-    events, states, additions = task
+def _resident_simulator() -> "BgpSimulator":
+    """The worker-process simulator (initializer always ran)."""
     simulator = _WORKER_SIMULATOR
     if simulator is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("shard worker used before initialization")
-    prefixes = _distinct_prefixes(events)
-    seen = set(prefixes)
-    for state in states:
-        if state[0] not in seen:
-            seen.add(state[0])
-            prefixes.append(state[0])
-    # Reset exactly this shard's prefixes (residue from earlier batches
-    # on the same worker), replay the parent's current state for them,
-    # and converge with the same per-shard core the parent would use.
-    # The clear just wiped every slot, so the install skips re-clearing.
-    clear_prefix_state(simulator, prefixes)
-    install_prefix_state(simulator, states, stale=frozenset())
+    return simulator
+
+
+def _run_shard(task: ShardTask) -> tuple["SimulationReport", list[PrefixState]]:
+    """Worker entry point: converge one shard on resident state, return deltas.
+
+    Unlike the stateless protocol this replaces, nothing is cleared up
+    front: the worker's RIB state for its shards is authoritative (the
+    parent shipped every pair it mutated since the last task via
+    ``states``), so the install replaces exactly the shipped pairs and
+    convergence continues from where the previous batch left off.
+    """
+    epoch, router_config, additions, events, states = task
+    simulator = _resident_simulator()
+    _sync_worker(simulator, epoch, router_config)
+    install_prefix_state(simulator, states, stale=None)
     _install_additions(simulator, additions)
     report = simulator._apply_local(events)
-    # Ship back only the pairs this convergence touched: everything the
-    # parent sent that stayed untouched is still byte-identical there.
-    deltas = capture_prefix_state(simulator, prefixes, holders=simulator._last_touched)
+    # Ship back only the pairs this convergence touched: everything else
+    # is either untouched in the parent or resident here for next time.
+    deltas = capture_prefix_state(
+        simulator, list(simulator._last_touched), holders=simulator._last_touched
+    )
     return report, deltas
 
 
-class ShardPool:
-    """A lazily started, reusable pool of shard worker processes.
+# ---------------------------------------------------------------------- pool
+def _shutdown_executors(
+    executors: "list[ProcessPoolExecutor | None]", wait: bool = True
+) -> None:
+    """Stop every live slot executor in place (idempotent)."""
+    for index, executor in enumerate(executors):
+        executors[index] = None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
 
-    The snapshot — pickled ``(topology, router configuration)`` — is
-    produced once by the owning simulator and shipped to each worker
-    exactly once (at worker start-up); tasks then only carry events and
-    per-prefix state.  ``shutdown`` is idempotent and also runs from
-    the owning simulator's GC finalizer.
+
+#: Every live pool, so the interpreter-exit hook can stop workers that
+#: neither GC (owner finalizer) nor an explicit ``shutdown`` reached.
+_LIVE_POOLS: "weakref.WeakSet[ShardPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _shutdown_live_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in list(_LIVE_POOLS):
+        pool.shutdown(wait=False)
+
+
+class ShardPool:
+    """Slot-pinned, resident shard worker processes.
+
+    ``shards`` fixes the partition granularity for the pool's lifetime
+    and ``workers`` how many processes serve them; shard ``i`` is always
+    dispatched to slot ``i % workers``, which is what makes worker RIB
+    state reusable across batches.  Each slot is a single-worker
+    executor started lazily on first use from the shared pickled
+    ``(topology, router configuration)`` snapshot.
+
+    The pool is a context manager, shuts its workers down from a GC
+    finalizer, and any stragglers are stopped by an ``atexit`` hook —
+    a long-lived pool can never leak worker processes past interpreter
+    exit.
     """
 
-    def __init__(self, snapshot_payload: bytes, max_rounds: int = 1000, workers: int = 1):
+    def __init__(
+        self,
+        snapshot_payload: bytes,
+        max_rounds: int = 1000,
+        workers: int = 1,
+        shards: int | None = None,
+    ):
         self.workers = max(1, workers)
+        #: Partition granularity — at least ``workers`` so every slot
+        #: serves a non-empty shard range.
+        self.shards = max(self.workers, shards if shards is not None else self.workers)
+        #: Router-configuration generation (see :func:`_sync_worker`).
+        self.epoch = 0
+        #: Cumulative count of :class:`PrefixState` entries shipped
+        #: parent -> worker (cheap, always on).
+        self.shipped_state_entries = 0
+        #: Cumulative pickled task bytes shipped parent -> worker.
+        #: Only tracked when :data:`SHIP_STATS_ENV` is set.
+        self.ship_bytes = 0
+        self.tasks_dispatched = 0
         self._payload = snapshot_payload
         self._max_rounds = max_rounds
-        self._executor: ProcessPoolExecutor | None = None
+        self._executors: "list[ProcessPoolExecutor | None]" = [None] * self.workers
+        self._slot_epochs = [0] * self.workers
+        self._track_ship_bytes = os.environ.get(SHIP_STATS_ENV, "") not in ("", "0")
+        self._finalizer = weakref.finalize(self, _shutdown_executors, self._executors)
+        _LIVE_POOLS.add(self)
 
-    def _ensure(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
+    def slot_for(self, shard_index: int) -> int:
+        """The worker slot that owns ``shard_index`` (pinned for life)."""
+        return shard_index % self.workers
+
+    def bump_epoch(self) -> int:
+        """Invalidate all resident worker state (config change / failed task)."""
+        self.epoch += 1
+        return self.epoch
+
+    def sync_header(
+        self, slot: int, config_supplier: "Callable[[], dict[int, tuple]]"
+    ) -> tuple[int, "dict[int, tuple] | None"]:
+        """The ``(epoch, config-or-None)`` header for a task bound to ``slot``.
+
+        The configuration payload rides along only on the first task a
+        slot sees after an epoch bump; ``config_supplier`` is called
+        lazily so the common already-synced case pays nothing.
+        """
+        if self._slot_epochs[slot] != self.epoch:
+            self._slot_epochs[slot] = self.epoch
+            return self.epoch, config_supplier()
+        return self.epoch, None
+
+    def submit(self, slot: int, fn, task) -> "Future":
+        """Dispatch ``fn(task)`` to ``slot``'s resident worker."""
+        executor = self._executors[slot]
+        if executor is None:
+            executor = ProcessPoolExecutor(
+                max_workers=1,
                 initializer=_initialize_worker,
                 initargs=(self._payload, self._max_rounds),
             )
-        return self._executor
+            self._executors[slot] = executor
+        self.tasks_dispatched += 1
+        if self._track_ship_bytes:
+            self.ship_bytes += len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+        return executor.submit(fn, task)
 
-    def run(self, tasks: Sequence[tuple], fn=None) -> list[tuple]:
-        """Run every shard task; results come back in task order.
+    def __enter__(self) -> "ShardPool":
+        return self
 
-        ``fn`` selects the worker entry point (default: the propagation
-        shard runner).  The collector harvest passes its own runner and
-        reuses the same warm workers — one snapshot, one pool, both
-        subsystems.
-        """
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        return list(self._ensure().map(fn or _run_shard, tasks))
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker processes (idempotent)."""
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=wait, cancel_futures=True)
+        _shutdown_executors(self._executors, wait=wait)

@@ -1,0 +1,212 @@
+"""Streaming event front end: feed/drain with per-prefix coalescing.
+
+The paper's measurement pipeline is a continuous feed of BGP
+announce/withdraw churn observed at collectors.  This module is the
+incremental entry point over the batch engine for that shape of input:
+
+* :class:`SimulatorService` wraps a :class:`BgpSimulator` and accepts
+  events one at a time or in chunks (:meth:`SimulatorService.feed`),
+  **coalescing** per-origin bursts before anything converges: within
+  the buffered window only the *last* event per ``(origin, prefix)``
+  key survives — the way a real BGP session's rapid re-announcements
+  collapse into the latest state, since an UPDATE for a prefix
+  implicitly replaces its predecessor.  When the buffer reaches the
+  window size it drains automatically; :meth:`SimulatorService.drain`
+  flushes the remainder.
+* A drain hands the coalesced batch to :meth:`BgpSimulator.apply`, so
+  it inherits the full scheduler — sequential core, resident sharded
+  service, ``"auto"`` policy — unchanged.
+* :func:`parse_event` / :func:`read_event_stream` decode the JSON-lines
+  wire format the ``repro-bgp stream`` CLI reads (one object per line:
+  ``{"origin": 65001, "prefix": "10.0.0.0/24", "withdraw": false,
+  "communities": ["65001:666"], "spoofed_origin": 0}`` — only
+  ``origin`` and ``prefix`` are required).
+
+Equivalence contract: coalescing never changes the *converged* state.
+The engine's batch semantics make a batch a net state change, and the
+final Loc-RIBs/FIBs depend only on the final origination state — so a
+coalesced stream converges to exactly the Loc-RIBs and FIBs of the
+uncoalesced event-by-event run (the per-run reports differ, of course:
+fewer events are processed).  ``tests/test_stream.py`` holds a
+property-style test of exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.bgp.community import CommunitySet
+from repro.bgp.prefix import Prefix
+from repro.exceptions import RoutingError
+from repro.routing.engine import RoutingEvent, SimulationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from repro.routing.engine import BgpSimulator
+
+#: Default number of buffered (origin, prefix) keys that triggers an
+#: automatic drain.  Matches the engine's auto-shard threshold so a
+#: full window is exactly a batch worth sharding.
+DEFAULT_WINDOW = 256
+
+
+@dataclass
+class StreamStats:
+    """Counters over a service's lifetime."""
+
+    #: Events handed to :meth:`SimulatorService.feed`.
+    events_seen: int = 0
+    #: Events dropped by last-writer-wins coalescing (superseded by a
+    #: later event for the same (origin, prefix) within their window).
+    events_coalesced: int = 0
+    #: Batches handed to the engine (automatic and explicit drains).
+    batches: int = 0
+
+    @property
+    def events_applied(self) -> int:
+        """Events that actually reached the engine."""
+        return self.events_seen - self.events_coalesced
+
+
+def coalesce_events(events: Iterable[RoutingEvent]) -> list[RoutingEvent]:
+    """Collapse a burst to its net updates: last writer wins per (origin, prefix).
+
+    Keys keep their first-seen position (the surviving event replaces
+    its predecessor in place), so the coalesced batch seeds prefixes in
+    the same relative order the uncoalesced stream would have.
+    """
+    pending: dict[tuple[int, Prefix], RoutingEvent] = {}
+    for event in events:
+        pending[(event.origin_asn, event.prefix)] = event
+    return list(pending.values())
+
+
+class SimulatorService:
+    """A feed/drain streaming client over one simulator.
+
+    The service buffers incoming events and coalesces them per
+    ``(origin, prefix)`` key; a batch goes to the engine when the
+    buffer holds ``window`` distinct keys (or on an explicit
+    :meth:`drain`).  Used as a context manager it drains on clean exit,
+    so no buffered event is silently dropped.
+    """
+
+    def __init__(
+        self,
+        simulator: "BgpSimulator",
+        window: int = DEFAULT_WINDOW,
+        shards: int | str | None = None,
+    ):
+        if window < 1:
+            raise RoutingError(f"stream window must be >= 1, got {window}")
+        self.simulator = simulator
+        self.window = window
+        #: Per-drain shard policy override (None: the simulator's own).
+        self.shards = shards
+        self.stats = StreamStats()
+        self._pending: dict[tuple[int, Prefix], RoutingEvent] = {}
+
+    def pending_events(self) -> list[RoutingEvent]:
+        """The currently buffered (already coalesced) events, in order."""
+        return list(self._pending.values())
+
+    def feed(self, events: Iterable[RoutingEvent] | RoutingEvent) -> list[SimulationReport]:
+        """Buffer events, draining every time the window fills.
+
+        Returns the reports of the drains this call triggered (often
+        none — the common case is pure buffering).
+        """
+        if isinstance(events, RoutingEvent):
+            events = (events,)
+        reports: list[SimulationReport] = []
+        for event in events:
+            self.stats.events_seen += 1
+            key = (event.origin_asn, event.prefix)
+            if key in self._pending:
+                self.stats.events_coalesced += 1
+            self._pending[key] = event
+            if len(self._pending) >= self.window:
+                reports.append(self.drain())
+        return reports
+
+    def drain(self) -> SimulationReport:
+        """Converge everything buffered; returns the batch's report.
+
+        Draining an empty buffer is a no-op that returns an empty
+        report (so periodic timers can call it unconditionally).
+        """
+        batch, self._pending = list(self._pending.values()), {}
+        if not batch:
+            return SimulationReport()
+        self.stats.batches += 1
+        return self.simulator.apply(batch, shards=self.shards)
+
+    def __enter__(self) -> "SimulatorService":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None:
+            self.drain()
+
+
+# ------------------------------------------------------------------ wire format
+_EVENT_KEYS = frozenset(
+    {"origin", "origin_asn", "prefix", "withdraw", "communities", "spoofed_origin", "spoofed_origin_asn"}
+)
+
+
+def parse_event(record: dict) -> RoutingEvent:
+    """Decode one JSON-lines record into a :class:`RoutingEvent`."""
+    if not isinstance(record, dict):
+        raise RoutingError(f"stream event must be a JSON object, got {type(record).__name__}")
+    unknown = set(record) - _EVENT_KEYS
+    if unknown:
+        raise RoutingError(
+            f"unknown stream event field(s) {sorted(unknown)}; expected a subset of "
+            f"{sorted(_EVENT_KEYS)}"
+        )
+    origin = record.get("origin", record.get("origin_asn"))
+    prefix = record.get("prefix")
+    if origin is None or prefix is None:
+        raise RoutingError("stream event needs at least 'origin' and 'prefix'")
+    try:
+        origin = int(origin)
+    except (TypeError, ValueError):
+        raise RoutingError(f"stream event origin must be an AS number, got {origin!r}") from None
+    try:
+        prefix = Prefix.from_string(str(prefix))
+    except Exception as exc:
+        raise RoutingError(f"bad stream event prefix {prefix!r}: {exc}") from None
+    communities = record.get("communities")
+    spoofed = record.get("spoofed_origin", record.get("spoofed_origin_asn"))
+    try:
+        return RoutingEvent(
+            origin_asn=origin,
+            prefix=prefix,
+            withdraw=bool(record.get("withdraw", False)),
+            communities=CommunitySet.of(*communities) if communities else None,
+            spoofed_origin_asn=None if spoofed is None else int(spoofed),
+        )
+    except Exception as exc:
+        raise RoutingError(f"bad stream event {record!r}: {exc}") from None
+
+
+def read_event_stream(lines: Iterable[str]) -> Iterator[RoutingEvent]:
+    """Decode a JSON-lines event stream, skipping blanks and ``#`` comments.
+
+    Errors carry the 1-based line number so a bad line in a long feed
+    is findable.
+    """
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise RoutingError(f"stream line {number}: invalid JSON ({exc})") from None
+        try:
+            yield parse_event(record)
+        except RoutingError as exc:
+            raise RoutingError(f"stream line {number}: {exc}") from None

@@ -224,7 +224,7 @@ class BlackholeSweepExperiment(Experiment):
 
         blackhole_list = build_blackhole_list(
             ctx.require_topology(),
-            inferred_count=int(self.param("inferred_count")),
+            inferred_count=self.int_param("inferred_count", 0),
             seed=ctx.spec.seed,
         )
         sweep = BlackholeSweep(

@@ -197,7 +197,7 @@ class WildRtbhExperiment(Experiment):
             ctx.require_topology(),
             platform,
             ctx.platform("atlas"),
-            min_hops_to_target=int(self.param("min_hops_to_target")),
+            min_hops_to_target=self.int_param("min_hops_to_target", 0),
         )
         outcome = experiment.run(
             use_hijack=use_hijack, hijack_space=ctx.scratch.get("hijack_space")

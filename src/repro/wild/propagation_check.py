@@ -114,7 +114,7 @@ class PropagationCheckExperiment(Experiment):
                 ctx.require_topology(),
                 platform,
                 deployment,
-                community_value=int(self.param("community_value")),
+                community_value=self.int_param("community_value", 0),
                 harvest_shards=self.propagation_shards(),
             )
             ctx.scratch[platform.name] = check

@@ -202,3 +202,91 @@ class TestRunOutputFile:
         [replayed] = load_results(str(path))
         assert replayed.to_dict() == printed
         assert replayed.spec["params"]["shards"] == 1
+
+
+class TestRunParamErrors:
+    """``run --param`` mistakes fail with a clear error naming the token."""
+
+    def test_malformed_param_exits_2_naming_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "rtbh", "--param", "hijack"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected KEY=VALUE" in err
+        assert "'hijack'" in err
+
+    def test_flag_passed_as_param_exits_2_with_hint(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "rtbh", "--param", "scale=small"])
+        assert excinfo.value.code == 2
+        assert "use --scale instead of --param" in capsys.readouterr().err
+
+    def test_unknown_param_exits_2_naming_experiment_and_token(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "rtbh", "--param", "hijak=true"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown parameter 'hijak'" in err
+        assert "'rtbh'" in err
+        assert "hijak=true" in err
+        assert "known:" in err
+
+    def test_non_integer_value_is_a_clean_experiment_error(self, capsys):
+        """A bad value surfaces as a captured error result, not a traceback."""
+        assert main(["run", "blackhole-sweep", "--param", "probes=xyz", "--json"]) == 1
+        result = json.loads(capsys.readouterr().out)
+        assert result["status"] == "error"
+        assert "'probes' must be an integer" in result["error"]
+        assert "'xyz'" in result["error"]
+
+
+class TestStreamCli:
+    def _origins(self, seed):
+        from repro.experiments import ExperimentSpec
+
+        topology = ExperimentSpec(name="report", seed=seed, scale="small").build_topology()
+        return sorted(asys.asn for asys in topology)
+
+    def test_stream_file_end_to_end(self, tmp_path, capsys):
+        asns = self._origins(9)
+        path = tmp_path / "events.jsonl"
+        lines = ["# churn burst"]
+        for index in range(4):
+            lines.append(json.dumps({"origin": asns[0], "prefix": f"10.9.{index}.0/24"}))
+        # Re-announce + withdraw of the same key: coalesced away.
+        lines.append(json.dumps({"origin": asns[0], "prefix": "10.9.0.0/24"}))
+        lines.append(json.dumps({"origin": asns[0], "prefix": "10.9.0.0/24", "withdraw": True}))
+        path.write_text("\n".join(lines) + "\n")
+
+        assert (
+            main(
+                ["stream", str(path), "--scale", "small", "--seed", "9", "--window", "3", "--json"]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events_seen"] == 6
+        assert summary["events_applied"] == summary["events_seen"] - summary["events_coalesced"]
+        assert summary["batches"] >= 1
+        assert summary["prefixes"] >= 3
+        assert summary["announcements_processed"] > 0
+
+    def test_stream_reads_stdin(self, capsys, monkeypatch):
+        import io
+
+        asns = self._origins(9)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"origin": asns[0], "prefix": "10.9.0.0/24"}) + "\n")
+        )
+        assert main(["stream", "-", "--scale", "small", "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "1 events in" in out
+        assert "prefixes converged" in out
+
+    def test_stream_bad_line_exits_2_with_line_number(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"origin": 1, "prefix": "10.0.0.0/24", "nope": 1}\n')
+        assert main(["stream", str(path), "--scale", "small", "--seed", "9"]) == 2
+        err = capsys.readouterr().err
+        assert "stream line 1" in err
+        assert "nope" in err
