@@ -1,0 +1,74 @@
+"""Project-specific static analysis: the invariants, enforced mechanically.
+
+Every headline property of this reproduction — byte-identical sharded
+Loc-RIBs/FIBs, reproducible topologies, lossless MRT round-trips —
+rests on conventions a normal linter cannot see: no per-process-salted
+``hash()`` near placement or wire formats, no unseeded randomness
+outside :class:`~repro.utils.rand.DeterministicRng`, module-level
+picklable worker entry points, shard workers that never write shared
+state, and frozen value objects whose cached hashes only move through
+the sanctioned setter.  :mod:`repro.analysis` is the AST lint engine
+that fails CI the moment one of those conventions is broken.
+
+Entry points:
+
+* ``repro-bgp lint [PATHS] [--json] [--select/--ignore CODES]
+  [--baseline FILE]`` — the CLI subcommand;
+* ``python -m repro.analysis`` — the same engine standalone;
+* :func:`lint_paths` / :func:`lint_source` — the library API.
+
+Rule codes: RPR001/002/003 (determinism), RPR010/011 (multiprocessing
+safety), RPR020/021 (immutability discipline), RPR000 (lint
+integrity).  ``repro-bgp lint --list-rules`` describes each; see the
+README "Static analysis" section for the suppression (``# repro:
+noqa[RPR0xx]: reason``) and baseline workflow.
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import PROJECT_RULES, WORKER_ENTRY_POINTS, ShardPurityRule
+from repro.analysis.engine import (
+    INTEGRITY_CODE,
+    LintConfigError,
+    LintReport,
+    add_lint_arguments,
+    all_rules,
+    lint_paths,
+    lint_source,
+    main,
+    run_lint,
+)
+from repro.analysis.model import ModuleInfo, Suppression, Violation
+from repro.analysis.rules import MODULE_RULES, Rule
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "INTEGRITY_CODE",
+    "LintConfigError",
+    "LintReport",
+    "MODULE_RULES",
+    "ModuleInfo",
+    "PROJECT_RULES",
+    "Rule",
+    "ShardPurityRule",
+    "Suppression",
+    "Violation",
+    "WORKER_ENTRY_POINTS",
+    "add_lint_arguments",
+    "all_rules",
+    "apply_baseline",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "run_lint",
+    "write_baseline",
+]

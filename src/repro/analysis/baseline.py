@@ -1,0 +1,145 @@
+"""Checked-in lint baselines: known, justified violations that stay green.
+
+A baseline entry is the persistent form of a triaged violation — the
+line-free fingerprint ``(code, path, context, message)`` plus a
+**required** human reason.  The gate stays blocking for everything new
+while grandfathered sites keep their audit trail in one reviewable
+file.
+
+Format (JSON, sorted, one entry per justified finding)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "code": "RPR011",
+          "path": "src/repro/routing/shard.py",
+          "context": "_initialize_worker",
+          "message": "worker-reachable function writes ...",
+          "reason": "worker-resident registry; the parent never reads it"
+        }
+      ]
+    }
+
+An entry suppresses every current occurrence with the same fingerprint
+(a rule firing twice in one function body is one decision).  Entries
+that no longer match anything are reported as stale so the file cannot
+rot silently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.model import Violation
+
+#: Baseline file the CLI picks up automatically when it exists.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+#: Reason written by ``--write-baseline``; meant to be edited before
+#: the file is checked in.
+PENDING_REASON = "PENDING TRIAGE: replace with the real justification"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing reasons, ...)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation fingerprint plus its justification."""
+
+    code: str
+    path: str
+    context: str
+    message: str
+    reason: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str, str]:
+        return (self.code, self.path, self.context, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "context": self.context,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read and validate a baseline file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path}: invalid JSON ({exc})") from None
+    if not isinstance(payload, dict) or not isinstance(payload.get("entries"), list):
+        raise BaselineError(f"baseline {path}: expected an object with an 'entries' list")
+    entries: list[BaselineEntry] = []
+    for index, raw in enumerate(payload["entries"]):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path}: entry {index} is not an object")
+        missing = [
+            key
+            for key in ("code", "path", "context", "message", "reason")
+            if not isinstance(raw.get(key), str) or not raw[key].strip()
+        ]
+        if missing:
+            raise BaselineError(
+                f"baseline {path}: entry {index} is missing non-empty "
+                f"{', '.join(missing)} (every baselined violation needs a reason)"
+            )
+        entries.append(
+            BaselineEntry(
+                code=raw["code"],
+                path=raw["path"],
+                context=raw["context"],
+                message=raw["message"],
+                reason=raw["reason"],
+            )
+        )
+    return entries
+
+
+def write_baseline(path: Path, violations: Iterable[Violation]) -> int:
+    """Write the current violations as a fresh (pending-triage) baseline."""
+    unique: dict[tuple[str, str, str, str], BaselineEntry] = {}
+    for violation in violations:
+        unique.setdefault(
+            violation.fingerprint,
+            BaselineEntry(
+                code=violation.code,
+                path=violation.path,
+                context=violation.context,
+                message=violation.message,
+                reason=PENDING_REASON,
+            ),
+        )
+    entries = [unique[key] for key in sorted(unique)]
+    payload = {"version": 1, "entries": [entry.to_dict() for entry in entries]}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    violations: list[Violation], entries: list[BaselineEntry]
+) -> tuple[list[Violation], int, list[BaselineEntry]]:
+    """Split violations into (remaining, baselined-count, stale-entries)."""
+    by_fingerprint = {entry.fingerprint: entry for entry in entries}
+    matched: set[tuple[str, str, str, str]] = set()
+    remaining: list[Violation] = []
+    baselined = 0
+    for violation in violations:
+        entry = by_fingerprint.get(violation.fingerprint)
+        if entry is None:
+            remaining.append(violation)
+        else:
+            matched.add(entry.fingerprint)
+            baselined += 1
+    stale = [entry for entry in entries if entry.fingerprint not in matched]
+    return remaining, baselined, stale

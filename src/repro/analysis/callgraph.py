@@ -1,0 +1,365 @@
+"""RPR011: shard purity — worker-reachable code must not write shared state.
+
+The sharded subsystems (:mod:`repro.routing.shard`,
+:mod:`repro.collectors.harvest`) rest on a purity contract: everything
+a worker process computes flows back through the task result, never
+through module-level state the parent could observe (or, worse, that a
+*sequential* run would mutate differently).  This rule builds a
+project-wide call graph rooted at the worker entry points and flags any
+reachable function that writes module-level state.
+
+The graph is name-resolved and deliberately over-approximate:
+
+* ``f(...)`` resolves through the module's own defs and its
+  ``from m import f`` table;
+* ``mod.f(...)`` resolves through ``import m as mod`` aliases
+  (including function-local imports);
+* ``obj.m(...)`` resolves to **every** project method named ``m``
+  unless ``m`` is a common container/stdlib method name
+  (:data:`COMMON_METHOD_NAMES`) — receiver types are unknown, so
+  over-linking is the safe direction;
+* instantiating a project class adds an edge to its ``__init__``.
+
+Entry points match by dotted name or, as a fallback, by bare function
+name — so the rule keeps working when files move and so fixture tests
+can define their own ``_run_shard``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.model import ModuleInfo, Violation
+from repro.analysis.rules import Rule
+
+#: The worker-side entry points the shard pools dispatch to, plus the
+#: per-shard convergence core they all call into.
+WORKER_ENTRY_POINTS: tuple[str, ...] = (
+    "repro.routing.shard._initialize_worker",
+    "repro.routing.shard._run_shard",
+    "repro.routing.shard._sync_worker",
+    "repro.collectors.harvest._run_harvest_shard",
+    "repro.routing.engine.BgpSimulator._apply_local",
+)
+
+#: Attribute-call names never resolved to project methods: they are
+#: overwhelmingly builtin container / stdlib methods, and resolving
+#: them by bare name would connect the whole graph.
+COMMON_METHOD_NAMES = frozenset(
+    {
+        "add",
+        "append",
+        "as_posix",
+        "cancel",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "done",
+        "encode",
+        "endswith",
+        "exists",
+        "extend",
+        "find",
+        "flush",
+        "format",
+        "get",
+        "group",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "kill",
+        "lower",
+        "lstrip",
+        "match",
+        "mkdir",
+        "partition",
+        "pop",
+        "popitem",
+        "put",
+        "read",
+        "readline",
+        "readlines",
+        "remove",
+        "replace",
+        "result",
+        "reverse",
+        "rpartition",
+        "rsplit",
+        "rstrip",
+        "search",
+        "seek",
+        "setdefault",
+        "shutdown",
+        "sort",
+        "split",
+        "start",
+        "startswith",
+        "strip",
+        "sub",
+        "submit",
+        "tell",
+        "terminate",
+        "touch",
+        "union",
+        "unlink",
+        "update",
+        "upper",
+        "values",
+        "values_list",
+        "write",
+        "writelines",
+    }
+)
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "update",
+        "pop",
+        "clear",
+        "extend",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+        "popitem",
+        "appendleft",
+        "popleft",
+    }
+)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method in the project graph."""
+
+    dotted: str
+    simple_name: str
+    is_method: bool
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    module: ModuleInfo
+
+
+def _iter_defs(
+    module: ModuleInfo,
+) -> Iterator[tuple[str, "ast.FunctionDef | ast.AsyncFunctionDef", bool]]:
+    """Yield ``(qualname-within-module, node, is_method)`` for top two levels.
+
+    Nested (closure) functions are analysed as part of their enclosing
+    function, so only module-level functions and class methods become
+    graph nodes.
+    """
+    for statement in module.tree.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement.name, statement, False
+        elif isinstance(statement, ast.ClassDef):
+            for member in statement.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{statement.name}.{member.name}", member, True
+
+
+class CallGraph:
+    """Name-resolved project call graph over a set of modules."""
+
+    def __init__(self, modules: list[ModuleInfo]):
+        self.functions: dict[str, FunctionNode] = {}
+        self.by_simple_name: dict[str, list[str]] = {}
+        self.classes: dict[str, str] = {}  # class dotted/simple -> __init__ dotted
+        for module in modules:
+            for qualname, node, is_method in _iter_defs(module):
+                dotted = f"{module.module}.{qualname}"
+                function = FunctionNode(
+                    dotted=dotted,
+                    simple_name=node.name,
+                    is_method=is_method,
+                    node=node,
+                    module=module,
+                )
+                self.functions[dotted] = function
+                self.by_simple_name.setdefault(node.name, []).append(dotted)
+            for statement in module.tree.body:
+                if isinstance(statement, ast.ClassDef):
+                    init = f"{module.module}.{statement.name}.__init__"
+                    if init in self.functions:
+                        self.classes[f"{module.module}.{statement.name}"] = init
+                        self.classes.setdefault(statement.name, init)
+
+    # ------------------------------------------------------------- resolution
+    def _resolve_call(self, caller: FunctionNode, call: ast.Call) -> list[str]:
+        module = caller.module
+        func = call.func
+        targets: list[str] = []
+        if isinstance(func, ast.Name):
+            name = func.id
+            for dotted in (
+                module.from_imports.get(name),
+                f"{module.module}.{name}",
+            ):
+                if dotted is None:
+                    continue
+                if dotted in self.functions:
+                    targets.append(dotted)
+                elif dotted in self.classes:
+                    targets.append(self.classes[dotted])
+            if not targets and name in self.classes:
+                targets.append(self.classes[name])
+        elif isinstance(func, ast.Attribute):
+            parts = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name) and value.id in module.module_aliases:
+                dotted = ".".join(
+                    [module.module_aliases[value.id], *reversed(parts)]
+                )
+                if dotted in self.functions:
+                    targets.append(dotted)
+                elif dotted in self.classes:
+                    targets.append(self.classes[dotted])
+            if not targets and len(parts) == 1:
+                method = parts[0]
+                if (
+                    not method.startswith("__")
+                    and method not in COMMON_METHOD_NAMES
+                ):
+                    targets.extend(
+                        dotted
+                        for dotted in self.by_simple_name.get(method, ())
+                        if self.functions[dotted].is_method
+                    )
+        return targets
+
+    def reachable_from(self, entry_points: tuple[str, ...]) -> list[FunctionNode]:
+        """BFS closure over the entry points (dotted or bare-name match)."""
+        roots: list[str] = []
+        for entry in entry_points:
+            if entry in self.functions:
+                roots.append(entry)
+                continue
+            simple = entry.rsplit(".", 1)[-1]
+            roots.extend(self.by_simple_name.get(simple, ()))
+        seen: set[str] = set()
+        order: list[str] = []
+        queue = list(dict.fromkeys(roots))
+        while queue:
+            dotted = queue.pop(0)
+            if dotted in seen:
+                continue
+            seen.add(dotted)
+            order.append(dotted)
+            caller = self.functions[dotted]
+            for call in ast.walk(caller.node):
+                if isinstance(call, ast.Call):
+                    queue.extend(self._resolve_call(caller, call))
+        return [self.functions[dotted] for dotted in order]
+
+
+def _local_bindings(function: "ast.FunctionDef | ast.AsyncFunctionDef") -> set[str]:
+    """Names bound inside the function (these shadow module globals)."""
+    bound: set[str] = set()
+    args = function.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ]:
+        bound.add(arg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name in node.names:
+                bound.add((name.asname or name.name).split(".")[0])
+    return bound
+
+
+def _module_state_writes(function: FunctionNode) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(site, state-name)`` for every module-level write in the body."""
+    node = function.node
+    module = function.module
+    declared_global: set[str] = set()
+    for statement in ast.walk(node):
+        if isinstance(statement, ast.Global):
+            declared_global.update(statement.names)
+    local = _local_bindings(node) - declared_global
+    for leaf in ast.walk(node):
+        if isinstance(leaf, ast.Name) and isinstance(leaf.ctx, (ast.Store, ast.Del)):
+            if leaf.id in declared_global:
+                yield leaf, leaf.id
+        elif isinstance(leaf, ast.Subscript) and isinstance(
+            leaf.ctx, (ast.Store, ast.Del)
+        ):
+            target = leaf.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id in module.module_level_names
+                and target.id not in local
+            ):
+                yield leaf, target.id
+        elif isinstance(leaf, ast.Attribute) and isinstance(
+            leaf.ctx, (ast.Store, ast.Del)
+        ):
+            value = leaf.value
+            while isinstance(value, ast.Attribute):
+                value = value.value
+            if isinstance(value, ast.Name) and value.id in module.module_aliases:
+                yield leaf, f"{module.module_aliases[value.id]}.{leaf.attr}"
+        elif isinstance(leaf, ast.Call):
+            func = leaf.func
+            if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+                receiver = func.value
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in module.module_level_names
+                    and receiver.id not in local
+                    and receiver.id not in declared_global
+                ):
+                    yield leaf, receiver.id
+
+
+class ShardPurityRule(Rule):
+    """RPR011: worker-reachable functions must not write module state."""
+
+    code = "RPR011"
+    name = "shard-purity"
+    summary = (
+        "a function reachable from a shard-worker entry point writes "
+        "module-level state; workers must return results through the task "
+        "payload only"
+    )
+
+    def __init__(self, entry_points: tuple[str, ...] = WORKER_ENTRY_POINTS):
+        self.entry_points = entry_points
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        # Project rule: per-module checking happens in check_project.
+        return iter(())
+
+    def check_project(self, modules: list[ModuleInfo]) -> Iterator[Violation]:
+        graph = CallGraph(modules)
+        for function in graph.reachable_from(self.entry_points):
+            for site, state_name in _module_state_writes(function):
+                yield function.module.violation(
+                    self.code,
+                    site,
+                    f"worker-reachable function writes module-level state "
+                    f"'{state_name}'; shard workers must ship results through "
+                    "the task payload, not shared module state",
+                    context=function.module.context(function.node),
+                )
+
+
+#: The project-wide rules (need every module at once).
+PROJECT_RULES: tuple[ShardPurityRule, ...] = (ShardPurityRule(),)

@@ -1,0 +1,365 @@
+"""Lint engine: file discovery, rule execution, suppressions, reporting.
+
+This is the orchestration layer behind ``repro-bgp lint`` and
+``python -m repro.analysis``: it walks the given paths, parses each
+file once into a :class:`~repro.analysis.model.ModuleInfo`, runs the
+per-module rules and the project-wide call-graph rules, then applies
+inline suppressions and the checked-in baseline before rendering.
+
+Exit codes: ``0`` clean (possibly via suppressions/baseline), ``1``
+violations remain, ``2`` the lint configuration itself is broken
+(unreadable path, malformed baseline, unknown rule code).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import PROJECT_RULES
+from repro.analysis.model import ModuleInfo, Violation, build_module, module_from_source
+from repro.analysis.rules import MODULE_RULES, Rule
+
+#: Integrity findings (parse failures, malformed suppressions) that are
+#: not produced by a rule object.
+INTEGRITY_CODE = "RPR000"
+
+#: Directory names never descended into during discovery.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", "build", "dist"})
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    return sorted([*MODULE_RULES, *PROJECT_RULES], key=lambda rule: rule.code)
+
+
+def known_codes() -> set[str]:
+    """All valid rule codes (including the integrity pseudo-code)."""
+    return {rule.code for rule in all_rules()} | {INTEGRITY_CODE}
+
+
+class LintConfigError(ValueError):
+    """The lint invocation itself is invalid (exit code 2)."""
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        counts = f"{len(self.violations)} violation(s) in {self.files_checked} file(s)"
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed inline")
+        if self.baselined:
+            extras.append(f"{self.baselined} baselined")
+        if self.stale_baseline:
+            extras.append(f"{len(self.stale_baseline)} stale baseline entr(y/ies)")
+        return counts + (f" ({', '.join(extras)})" if extras else "")
+
+    def to_dict(self) -> dict:
+        return {
+            "violations": [violation.to_dict() for violation in self.violations],
+            "summary": {
+                "files_checked": self.files_checked,
+                "violations": len(self.violations),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
+                "ok": self.ok,
+            },
+        }
+
+
+# ------------------------------------------------------------------ discovery
+def _display_path(path: Path) -> str:
+    """Path as printed and as fingerprinted: cwd-relative, POSIX separators."""
+    try:
+        relative = path.resolve().relative_to(Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def discover_files(paths: Sequence[str]) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of source files.
+
+    Directories are walked recursively for ``*.py``; explicit file
+    arguments are taken verbatim (any extension — that is how the rule
+    fixtures, shipped as ``.py_`` so discovery skips them, get linted).
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & SKIPPED_DIRS or any(
+                    part.startswith(".") for part in candidate.parts
+                ):
+                    continue
+                files.append(candidate)
+        else:
+            raise LintConfigError(f"path does not exist: {raw}")
+    unique: dict[str, Path] = {}
+    for path in files:
+        unique.setdefault(path.as_posix(), path)
+    return [unique[key] for key in sorted(unique)]
+
+
+def _select_codes(raw: "Sequence[str] | None") -> "set[str] | None":
+    if not raw:
+        return None
+    codes: set[str] = set()
+    for chunk in raw:
+        codes.update(code.strip().upper() for code in chunk.split(",") if code.strip())
+    unknown = {
+        code for code in codes if not any(known.startswith(code) for known in known_codes())
+    }
+    if unknown:
+        raise LintConfigError(
+            f"unknown rule code(s) {sorted(unknown)}; known: {sorted(known_codes())}"
+        )
+    return codes
+
+
+def _code_matches(code: str, selectors: "set[str] | None") -> bool:
+    if selectors is None:
+        return False
+    return any(code.startswith(selector) for selector in selectors)
+
+
+# ------------------------------------------------------------------- core run
+def lint_paths(
+    paths: Sequence[str],
+    select: "Sequence[str] | None" = None,
+    ignore: "Sequence[str] | None" = None,
+    baseline: "Path | None" = None,
+) -> LintReport:
+    """Run every rule over ``paths`` and return the filtered report."""
+    selected = _select_codes(select)
+    ignored = _select_codes(ignore)
+    report = LintReport()
+    modules: list[ModuleInfo] = []
+    raw_violations: list[Violation] = []
+    for path in discover_files(paths):
+        display = _display_path(path)
+        report.files_checked += 1
+        try:
+            module = build_module(path, display)
+        except (SyntaxError, ValueError) as exc:
+            detail = getattr(exc, "msg", None) or str(exc)
+            raw_violations.append(
+                Violation(
+                    code=INTEGRITY_CODE,
+                    path=display,
+                    line=getattr(exc, "lineno", 1) or 1,
+                    column=(getattr(exc, "offset", 0) or 0) + 1,
+                    context="<module>",
+                    message=f"file does not parse: {detail}",
+                )
+            )
+            continue
+        modules.append(module)
+        for line in module.malformed_suppressions:
+            raw_violations.append(
+                Violation(
+                    code=INTEGRITY_CODE,
+                    path=display,
+                    line=line,
+                    column=1,
+                    context="<module>",
+                    message=(
+                        "malformed suppression: the syntax is "
+                        "'# repro: noqa[RPR0xx]: reason' and the reason text "
+                        "is required"
+                    ),
+                )
+            )
+        for rule in MODULE_RULES:
+            raw_violations.extend(rule.check(module))
+    for project_rule in PROJECT_RULES:
+        raw_violations.extend(project_rule.check_project(modules))
+
+    # --select / --ignore filtering (integrity findings always survive
+    # --select so a broken file cannot slip through a narrow run).
+    filtered: list[Violation] = []
+    for violation in raw_violations:
+        if violation.code != INTEGRITY_CODE:
+            if selected is not None and not _code_matches(violation.code, selected):
+                continue
+            if _code_matches(violation.code, ignored):
+                continue
+        filtered.append(violation)
+
+    # Inline suppressions: a matching noqa (with reason) on the
+    # violation's own line wins.
+    suppression_maps = {module.display_path: module.suppressions for module in modules}
+    unsuppressed: list[Violation] = []
+    for violation in filtered:
+        suppression = suppression_maps.get(violation.path, {}).get(violation.line)
+        if suppression is not None and suppression.covers(violation.code):
+            report.suppressed += 1
+        else:
+            unsuppressed.append(violation)
+
+    # Baseline: fingerprint matches absorb grandfathered findings.
+    if baseline is not None and baseline.exists():
+        entries = load_baseline(baseline)
+        unsuppressed, baselined, stale = apply_baseline(unsuppressed, entries)
+        report.baselined = baselined
+        report.stale_baseline = stale
+
+    report.violations = sorted(
+        unsuppressed,
+        key=lambda violation: (violation.path, violation.line, violation.column, violation.code),
+    )
+    return report
+
+
+def lint_source(source: str, filename: str = "<snippet>") -> list[Violation]:
+    """Lint one in-memory snippet with every rule (test/fixture helper)."""
+    module = module_from_source(source, Path(filename), filename)
+    violations: list[Violation] = []
+    for rule in MODULE_RULES:
+        violations.extend(rule.check(module))
+    for project_rule in PROJECT_RULES:
+        violations.extend(project_rule.check_project([module]))
+    return sorted(violations, key=lambda violation: (violation.line, violation.code))
+
+
+# ------------------------------------------------------------------ rendering
+def render_text(report: LintReport, stream: TextIO) -> None:
+    for violation in report.violations:
+        print(violation.render(), file=stream)
+    for entry in report.stale_baseline:
+        print(
+            f"note: stale baseline entry {entry.code} {entry.path} "
+            f"({entry.context}) no longer matches anything — remove it",
+            file=stream,
+        )
+    print(report.summary(), file=stream)
+
+
+# ------------------------------------------------------------------------ CLI
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``lint`` arguments on ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only run these rule codes / prefixes (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="skip these rule codes / prefixes (comma-separated, repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (show grandfathered findings too)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a pending-triage baseline and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe every rule code and exit"
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} [{rule.name}] {rule.summary}")
+        print(
+            f"{INTEGRITY_CODE} [lint-integrity] unparseable file or malformed "
+            "'# repro: noqa[...]' suppression (reason text is required)"
+        )
+        return 0
+    baseline_path: "Path | None"
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline file not found: {baseline_path}", file=sys.stderr)
+            return 2
+    else:
+        default = Path(os.environ.get("REPRO_LINT_BASELINE", DEFAULT_BASELINE_NAME))
+        baseline_path = default if default.exists() else None
+    try:
+        report = lint_paths(
+            args.paths, select=args.select, ignore=args.ignore, baseline=baseline_path
+        )
+    except (LintConfigError, BaselineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = write_baseline(Path(args.write_baseline), report.violations)
+        print(
+            f"wrote {count} baseline entr(y/ies) to {args.write_baseline} — "
+            "edit every 'reason' before checking it in"
+        )
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        render_text(report, sys.stdout)
+    return 0 if report.ok else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bgp lint",
+        description=(
+            "Project-specific static analysis: determinism, pickle-safety and "
+            "shard-purity invariants, enforced mechanically."
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

@@ -16,6 +16,7 @@ from typing import Iterable
 from repro.bgp.aspath import ASPath
 from repro.bgp.community import Community, CommunitySet, LargeCommunity
 from repro.exceptions import AttributeError_
+from repro.utils.frozen import set_frozen_field
 
 #: Default LOCAL_PREF applied when a neighbor does not set one (common vendor default).
 DEFAULT_LOCAL_PREF = 100
@@ -92,7 +93,7 @@ class PathAttributes:
                     self.atomic_aggregate,
                 )
             )
-            object.__setattr__(self, "_hash", cached)
+            set_frozen_field(self, "_hash", cached)
         return cached
 
     def replace(self, **changes) -> "PathAttributes":

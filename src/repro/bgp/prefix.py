@@ -13,6 +13,7 @@ from enum import IntEnum
 
 from repro.exceptions import PrefixError
 from repro.utils import ip as ip_utils
+from repro.utils.frozen import set_frozen_field
 
 
 class AddressFamily(IntEnum):
@@ -43,10 +44,10 @@ class Prefix:
             raise PrefixError(f"network {self.network} out of range for {self.family.name}")
         normalised = ip_utils.network_address(self.network, self.length, bits)
         if normalised != self.network:
-            object.__setattr__(self, "network", normalised)
+            set_frozen_field(self, "network", normalised)
         # Prefixes key every RIB, FIB and propagation-worklist container,
         # so the (immutable) hash is computed once instead of per lookup.
-        object.__setattr__(self, "_hash", hash((self.family, self.network, self.length)))
+        set_frozen_field(self, "_hash", hash((self.family, self.network, self.length)))
 
     def __hash__(self) -> int:
         return self._hash

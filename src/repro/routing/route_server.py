@@ -80,19 +80,21 @@ class RouteServer:
         # announcement communities are present.
         if announce_requests and not announce_all:
             allowed = set(announce_requests)
-            for member in members - allowed:
+            # Sorted so the reasons mapping fills member-order deterministically
+            # (set iteration order must never leak into rendered output).
+            for member in sorted(members - allowed):
                 reasons[member] = "not in selective-announce set"
         else:
             allowed = set(members)
         if suppress_all:
-            for member in allowed:
+            for member in sorted(allowed):
                 reasons[member] = "suppress-to-all community"
             allowed = set()
         # Conflict resolution: the paper's target IXP evaluates suppression
         # after computing the announce set when suppress_before_redistribute
         # is True, meaning "do not announce" wins over "announce".
         suppressed = set()
-        for member in suppress_requests:
+        for member in sorted(suppress_requests):
             if member in allowed:
                 if self.config.suppress_before_redistribute:
                     allowed.discard(member)

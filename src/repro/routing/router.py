@@ -413,11 +413,16 @@ class Router:
         return True
 
     def refresh_all(self) -> list[Prefix]:
-        """Recompute every prefix's best route; return prefixes whose best changed."""
+        """Recompute every prefix's best route; return prefixes whose best changed.
+
+        Prefixes are visited (and returned) in sorted order so the
+        refresh sequence — and anything derived from the returned list —
+        is identical run-to-run regardless of set iteration order.
+        """
         prefixes: set[Prefix] = set(self.originated)
         for rib in self.adj_rib_in.values():
             prefixes.update(rib.prefixes())
-        return [p for p in prefixes if self._refresh_best(p)]
+        return [p for p in sorted(prefixes) if self._refresh_best(p)]
 
     # ----------------------------------------------------------------- export
     def export_memo_key(self, neighbor_asn: int) -> tuple:

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
-from repro.exceptions import RoutingError
+from repro.exceptions import CommunityError, PrefixError, RoutingError
 from repro.routing.engine import RoutingEvent, SimulationReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
@@ -176,11 +176,15 @@ def parse_event(record: dict) -> RoutingEvent:
         raise RoutingError(f"stream event origin must be an AS number, got {origin!r}") from None
     try:
         prefix = Prefix.from_string(str(prefix))
-    except Exception as exc:
+    except PrefixError as exc:
         raise RoutingError(f"bad stream event prefix {prefix!r}: {exc}") from None
     communities = record.get("communities")
     spoofed = record.get("spoofed_origin", record.get("spoofed_origin_asn"))
     try:
+        # Expected failures: a malformed community string/value
+        # (CommunityError), a non-iterable communities field or
+        # non-numeric spoofed origin (TypeError/ValueError from the
+        # star-unpack and int() coercions).
         return RoutingEvent(
             origin_asn=origin,
             prefix=prefix,
@@ -188,7 +192,7 @@ def parse_event(record: dict) -> RoutingEvent:
             communities=CommunitySet.of(*communities) if communities else None,
             spoofed_origin_asn=None if spoofed is None else int(spoofed),
         )
-    except Exception as exc:
+    except (CommunityError, TypeError, ValueError) as exc:
         raise RoutingError(f"bad stream event {record!r}: {exc}") from None
 
 

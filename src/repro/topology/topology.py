@@ -129,9 +129,11 @@ class Topology:
         (:meth:`origin_of`, the hijack-overlap checks in
         :mod:`repro.attacks`) walk the trie instead of scanning every
         AS's prefix list.  The fingerprint mixes every (asn, prefix)
-        hash — O(total prefixes) per call, but prefix hashes are cached
-        and re-validating is far cheaper than rebuilding the trie — so
-        even an in-place prefix swap invalidates the cache.
+        pair through an explicit 64-bit integer mix — O(total prefixes)
+        per call, but re-validating is far cheaper than rebuilding the
+        trie — so even an in-place prefix swap invalidates the cache.
+        The mix deliberately avoids builtin ``hash()`` so the
+        fingerprint is identical across interpreter runs.
         """
         count = 0
         mix = 0
@@ -141,7 +143,14 @@ class Topology:
             for prefix in asys.prefixes:
                 # Order-independent accumulation: additions, removals and
                 # re-homed prefixes all perturb the sum.
-                mix = (mix + hash((asn, prefix))) & 0xFFFFFFFFFFFFFFFF
+                word = (
+                    asn * 0x9E3779B97F4A7C15
+                    + prefix.network * 0xBF58476D1CE4E5B9
+                    + prefix.length * 0x94D049BB133111EB
+                    + int(prefix.family)
+                ) & 0xFFFFFFFFFFFFFFFF
+                word ^= word >> 29
+                mix = (mix + word) & 0xFFFFFFFFFFFFFFFF
         self._origin_cache, table = cached_table(
             self._origin_cache,
             (len(self.ases), count, mix),

@@ -1,0 +1,349 @@
+"""Tests for the repro.analysis lint engine: rules, suppressions, baseline, CLI.
+
+The known-bad inputs live in ``tests/fixtures/lint/*.py_`` — the
+trailing underscore keeps directory discovery (and therefore the CI
+``repro-bgp lint src tests`` run) from flagging the fixtures themselves,
+while explicit file arguments are linted regardless of extension.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    MODULE_RULES,
+    PROJECT_RULES,
+    BaselineEntry,
+    BaselineError,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def codes_in(violations):
+    return {v.code for v in violations}
+
+
+def fixture(name: str) -> str:
+    return str(FIXTURES / name)
+
+
+# --------------------------------------------------------------- fixture files
+class TestKnownBadFixtures:
+    """Every known-bad fixture must be flagged with its rule code."""
+
+    @pytest.mark.parametrize(
+        "name, expected_codes",
+        [
+            ("rng_salted_hash.py_", {"RPR001", "RPR002"}),
+            ("nondeterministic_sources.py_", {"RPR002"}),
+            ("set_order_leak.py_", {"RPR003"}),
+            ("shard_submit_lambda.py_", {"RPR010"}),
+            ("worker_global_write.py_", {"RPR011"}),
+            ("frozen_setattr.py_", {"RPR020"}),
+            ("cached_hash_mutable.py_", {"RPR021"}),
+            ("missing_noqa_reason.py_", {"RPR000", "RPR001"}),
+        ],
+    )
+    def test_fixture_flagged(self, name, expected_codes):
+        report = lint_paths([fixture(name)])
+        assert codes_in(report.violations) == expected_codes
+
+    @pytest.mark.parametrize(
+        "name", ["clean.py_", "shard_submit_picklable.py_"]
+    )
+    def test_known_good_fixture_is_clean(self, name):
+        report = lint_paths([fixture(name)])
+        assert report.violations == []
+
+    def test_pr1_hash_salt_regression_fixture(self):
+        """The PR 1 DeterministicRng bug shape stays permanently flagged."""
+        report = lint_paths([fixture("rng_salted_hash.py_")])
+        hash_hits = [v for v in report.violations if v.code == "RPR001"]
+        assert len(hash_hits) == 2
+        assert all(v.context == f"DeterministicRng.{m}" for v, m in zip(
+            sorted(hash_hits, key=lambda v: v.line),
+            ("child", "child_from_pair"),
+        ))
+        clock_hits = [v for v in report.violations if v.code == "RPR002"]
+        assert len(clock_hits) == 1
+        assert "time.time" in clock_hits[0].message
+
+    def test_picklable_vs_lambda_submit_pair(self):
+        """The only delta between the pair is the callable shape — RPR010."""
+        bad = lint_paths([fixture("shard_submit_lambda.py_")])
+        good = lint_paths([fixture("shard_submit_picklable.py_")])
+        assert codes_in(bad.violations) == {"RPR010"}
+        assert len(bad.violations) == 2  # one lambda, one closure
+        assert good.violations == []
+
+
+# ------------------------------------------------------------------ rule edges
+class TestRuleEdges:
+    """Sanctioned idioms must stay clean; violations must be caught inline."""
+
+    def test_hash_allowed_in_dunder_hash(self):
+        src = (
+            "class Endpoint:\n"
+            "    def __hash__(self):\n"
+            "        return hash((self.asn, self.port))\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_hash_of_string_flagged_even_in_dunder_hash(self):
+        src = (
+            "class Named:\n"
+            "    def __hash__(self):\n"
+            "        return hash(self.name + ':suffix')\n"
+        )
+        assert "RPR001" in codes_in(lint_source(src))
+
+    def test_hash_outside_sanctioned_context_flagged(self):
+        assert "RPR001" in codes_in(
+            lint_source("def key(pair):\n    return hash(pair)\n")
+        )
+
+    def test_seeded_random_instance_allowed(self):
+        src = "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        assert codes_in(lint_source(src)) == set()
+
+    def test_module_level_random_flagged(self):
+        src = "import random\n\ndef roll():\n    return random.randint(0, 6)\n"
+        assert "RPR002" in codes_in(lint_source(src))
+
+    def test_from_import_random_resolved(self):
+        src = "from random import shuffle\n\ndef mix(xs):\n    shuffle(xs)\n"
+        assert "RPR002" in codes_in(lint_source(src))
+
+    def test_sorted_set_iteration_clean(self):
+        src = (
+            "def rows(asns: set[int]) -> list[int]:\n"
+            "    return [a for a in sorted(asns)]\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_order_free_set_consumers_clean(self):
+        src = (
+            "def total(ws: set[int]) -> int:\n"
+            "    return sum(w for w in ws)\n"
+            "\n"
+            "def dedupe(ws: set[int]) -> set[int]:\n"
+            "    return {w * 2 for w in ws}\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_list_of_inferred_set_flagged(self):
+        src = (
+            "def leak():\n"
+            "    seen = {1, 2, 3}\n"
+            "    return list(seen)\n"
+        )
+        assert "RPR003" in codes_in(lint_source(src))
+
+    def test_submit_of_imported_function_clean(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "from repro.routing import shard as shard_module\n"
+            "\n"
+            "def run(pool, payload):\n"
+            "    return pool.submit(shard_module._run_shard, payload)\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_setattr_allowed_in_post_init_and_helper(self):
+        src = (
+            "class Frozen:\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', 1)\n"
+            "\n"
+            "def set_frozen_field(instance, name, value):\n"
+            "    object.__setattr__(instance, name, value)\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_cached_hash_with_immutable_fields_clean(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class P:\n"
+            "    network: int\n"
+            "    length: int\n"
+            "    _hash: int = 0\n"
+        )
+        assert codes_in(lint_source(src)) == set()
+
+    def test_worker_entry_reachability_spans_helpers(self):
+        """RPR011 walks the call graph, not just the entry function body."""
+        report = lint_paths([fixture("worker_global_write.py_")])
+        contexts = {v.context for v in report.violations}
+        assert contexts == {"_record", "_run_shard"}
+
+
+# ---------------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_valid_noqa_with_reason_suppresses(self, tmp_path):
+        target = tmp_path / "snippet.py_"
+        target.write_text(
+            "def key(label):\n"
+            "    return hash(label)  # repro: noqa[RPR001]: golden-file fingerprint, same-process only\n"
+        )
+        report = lint_paths([str(target)])
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_noqa_without_reason_is_integrity_violation(self):
+        report = lint_paths([fixture("missing_noqa_reason.py_")])
+        codes = codes_in(report.violations)
+        # The malformed comment does NOT suppress, and is itself flagged.
+        assert codes == {"RPR000", "RPR001"}
+
+    def test_noqa_for_wrong_code_does_not_suppress(self, tmp_path):
+        target = tmp_path / "snippet.py_"
+        target.write_text(
+            "def key(label):\n"
+            "    return hash(label)  # repro: noqa[RPR003]: not the right code\n"
+        )
+        report = lint_paths([str(target)])
+        assert "RPR001" in codes_in(report.violations)
+
+    def test_integrity_code_survives_select(self):
+        report = lint_paths([fixture("missing_noqa_reason.py_")], select=["RPR002"])
+        assert codes_in(report.violations) == {"RPR000"}
+
+
+# -------------------------------------------------------------------- baseline
+class TestBaseline:
+    def test_round_trip_absorbs_findings(self, tmp_path):
+        report = lint_paths([fixture("set_order_leak.py_")])
+        assert report.violations
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report.violations)
+        entries = load_baseline(baseline_file)
+        remaining, baselined, stale = apply_baseline(report.violations, entries)
+        assert remaining == []
+        assert baselined == len(report.violations)
+        assert stale == []
+
+    def test_missing_reason_rejected(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(json.dumps({
+            "version": 1,
+            "entries": [{
+                "code": "RPR003",
+                "path": "x.py",
+                "context": "f",
+                "message": "m",
+                "reason": "   ",
+            }],
+        }))
+        with pytest.raises(BaselineError):
+            load_baseline(baseline_file)
+
+    def test_stale_entries_reported(self):
+        entry = BaselineEntry(
+            code="RPR001",
+            path="gone.py",
+            context="f",
+            message="m",
+            reason="historical",
+        )
+        remaining, baselined, stale = apply_baseline([], [entry])
+        assert remaining == [] and baselined == 0
+        assert stale == [entry]
+
+    def test_checked_in_baseline_has_no_pending_reasons(self):
+        entries = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        assert entries, "shipped baseline should carry the shard worker-state entries"
+        assert all("PENDING" not in e.reason for e in entries)
+        assert all(e.code == "RPR011" for e in entries)
+
+
+# ------------------------------------------------------------------------- CLI
+class TestCli:
+    def test_exit_zero_on_clean_fixture(self, capsys):
+        assert main([fixture("clean.py_"), "--no-baseline"]) == 0
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "rng_salted_hash.py_",
+            "nondeterministic_sources.py_",
+            "set_order_leak.py_",
+            "shard_submit_lambda.py_",
+            "worker_global_write.py_",
+            "frozen_setattr.py_",
+            "cached_hash_mutable.py_",
+            "missing_noqa_reason.py_",
+        ],
+    )
+    def test_exit_nonzero_on_each_known_bad_fixture(self, name, capsys):
+        assert main([fixture(name), "--no-baseline"]) == 1
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main([fixture("set_order_leak.py_"), "--no-baseline", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files_checked"] == 1
+        assert payload["summary"]["ok"] is False
+        assert {v["code"] for v in payload["violations"]} == {"RPR003"}
+        assert all({"path", "line", "column", "context", "message"} <= set(v)
+                   for v in payload["violations"])
+
+    def test_select_narrows_run(self, capsys):
+        code = main([
+            fixture("rng_salted_hash.py_"), "--no-baseline", "--select", "RPR002",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out and "RPR001" not in out
+
+    def test_ignore_drops_code(self, capsys):
+        code = main([
+            fixture("rng_salted_hash.py_"), "--no-baseline",
+            "--ignore", "RPR001,RPR002",
+        ])
+        assert code == 0
+
+    def test_unknown_code_is_config_error(self, capsys):
+        assert main(["--select", "RPR999", fixture("clean.py_")]) == 2
+
+    def test_missing_path_is_config_error(self, capsys):
+        assert main(["does/not/exist.py", "--no-baseline"]) == 2
+
+    def test_syntax_error_reports_integrity_violation(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py_"
+        bad.write_text("def oops(:\n")
+        assert main([str(bad), "--no-baseline"]) == 1
+        assert "RPR000" in capsys.readouterr().out
+
+    def test_list_rules_mentions_every_code(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (*MODULE_RULES, *PROJECT_RULES):
+            assert rule.code in out
+
+
+# ---------------------------------------------------------------- project gate
+class TestProjectTree:
+    def test_shipped_src_tree_lints_clean(self, capsys):
+        """The acceptance gate: repro-bgp lint src exits 0 on the shipped tree."""
+        code = main([
+            str(REPO_ROOT / "src"),
+            "--baseline", str(REPO_ROOT / ".repro-lint-baseline.json"),
+        ])
+        assert code == 0, capsys.readouterr().out
+
+    def test_shipped_tests_tree_lints_clean(self, capsys):
+        code = main([
+            str(REPO_ROOT / "tests"),
+            "--baseline", str(REPO_ROOT / ".repro-lint-baseline.json"),
+        ])
+        assert code == 0, capsys.readouterr().out

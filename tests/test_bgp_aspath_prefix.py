@@ -78,7 +78,7 @@ class TestASPath:
 
     def test_equality_and_hash(self):
         assert ASPath.of(1, 2) == ASPath.of(1, 2)
-        assert hash(ASPath.of(1, 2)) == hash(ASPath.of(1, 2))
+        assert hash(ASPath.of(1, 2)) == hash(ASPath.of(1, 2))  # repro: noqa[RPR001]: asserts the __hash__ contract itself
         assert ASPath.of(1, 2) != ASPath.of(2, 1)
 
     def test_edges_of_path(self):

@@ -167,7 +167,7 @@ class TestCommunitySet:
 
     def test_equality_and_hash(self):
         assert CommunitySet.of("1:1", "2:2") == CommunitySet.of("2:2", "1:1")
-        assert hash(CommunitySet.of("1:1")) == hash(CommunitySet.of("1:1"))
+        assert hash(CommunitySet.of("1:1")) == hash(CommunitySet.of("1:1"))  # repro: noqa[RPR001]: asserts the __hash__ contract itself
 
     def test_rejects_uninterpretable(self):
         with pytest.raises(CommunityError):

@@ -141,9 +141,9 @@ class TestRadixTrie:
         rng = random.Random(7)
         trie = RadixTrie(AddressFamily.IPV4)
         prefixes = {Prefix.ipv4(rng.getrandbits(32), rng.randint(1, 32)) for _ in range(500)}
-        for i, prefix in enumerate(prefixes):
+        for i, prefix in enumerate(prefixes):  # repro: noqa[RPR003]: property test; payload values never inspected
             trie.insert(prefix, i)
-        order = list(prefixes)
+        order = list(prefixes)  # repro: noqa[RPR003]: deletion order is rng-shuffled on the next line anyway
         rng.shuffle(order)
         for prefix in order:
             assert trie.delete(prefix)

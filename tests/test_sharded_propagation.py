@@ -262,7 +262,7 @@ class TestPicklability:
         )
         clone = pickle.loads(pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL))
         assert clone == event
-        assert hash(clone.prefix) == hash(event.prefix)
+        assert hash(clone.prefix) == hash(event.prefix)  # repro: noqa[RPR001]: asserts cached _hash survives pickling
 
     def test_simulation_report_round_trips(self):
         topology = small_topology()
