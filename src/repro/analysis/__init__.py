@@ -10,18 +10,28 @@ state, and frozen value objects whose cached hashes only move through
 the sanctioned setter.  :mod:`repro.analysis` is the AST lint engine
 that fails CI the moment one of those conventions is broken.
 
+On top of the single-statement rules sits a dataflow layer
+(:mod:`repro.analysis.dataflow`) that verifies the resident-shard
+**sync protocol** itself — unrecorded holder-state mutations (RPR030),
+router-config attributes missing from the epoch fingerprint (RPR031),
+and module state aliased across the fork boundary (RPR032) — plus an
+opt-in runtime twin (:mod:`repro.analysis.sanitizer`,
+``REPRO_SANITIZE=1``) that checks the same protocol live at the pool's
+dispatch points.
+
 Entry points:
 
-* ``repro-bgp lint [PATHS] [--json] [--select/--ignore CODES]
-  [--baseline FILE]`` — the CLI subcommand;
+* ``repro-bgp lint [PATHS] [--json] [--format github]
+  [--select/--ignore CODES] [--baseline FILE]`` — the CLI subcommand;
 * ``python -m repro.analysis`` — the same engine standalone;
 * :func:`lint_paths` / :func:`lint_source` — the library API.
 
 Rule codes: RPR001/002/003 (determinism), RPR010/011 (multiprocessing
-safety), RPR020/021 (immutability discipline), RPR000 (lint
-integrity).  ``repro-bgp lint --list-rules`` describes each; see the
-README "Static analysis" section for the suppression (``# repro:
-noqa[RPR0xx]: reason``) and baseline workflow.
+safety), RPR020/021 (immutability discipline), RPR030/031/032 (sync
+protocol dataflow), RPR000 (lint integrity).  ``repro-bgp lint
+--list-rules`` describes each; see the README "Static analysis"
+section for the suppression (``# repro: noqa[RPR0xx]: reason``) and
+baseline workflow.
 """
 
 from repro.analysis.baseline import (
@@ -33,7 +43,16 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.callgraph import PROJECT_RULES, WORKER_ENTRY_POINTS, ShardPurityRule
+from repro.analysis.dataflow import (
+    DATAFLOW_RULES,
+    PARENT_ENTRY_POINTS,
+    ConfigCoherenceRule,
+    ControlFlowGraph,
+    ForkAliasRule,
+    ResidentStateRecordRule,
+)
 from repro.analysis.engine import (
+    ALL_PROJECT_RULES,
     INTEGRITY_CODE,
     LintConfigError,
     LintReport,
@@ -46,18 +65,28 @@ from repro.analysis.engine import (
 )
 from repro.analysis.model import ModuleInfo, Suppression, Violation
 from repro.analysis.rules import MODULE_RULES, Rule
+from repro.analysis.sanitizer import SANITIZE_ENV, ProtocolViolationError
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "BaselineEntry",
     "BaselineError",
+    "ConfigCoherenceRule",
+    "ControlFlowGraph",
+    "DATAFLOW_RULES",
     "DEFAULT_BASELINE_NAME",
+    "ForkAliasRule",
     "INTEGRITY_CODE",
     "LintConfigError",
     "LintReport",
     "MODULE_RULES",
     "ModuleInfo",
+    "PARENT_ENTRY_POINTS",
     "PROJECT_RULES",
+    "ProtocolViolationError",
+    "ResidentStateRecordRule",
     "Rule",
+    "SANITIZE_ENV",
     "ShardPurityRule",
     "Suppression",
     "Violation",

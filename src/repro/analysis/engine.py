@@ -30,6 +30,7 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.callgraph import PROJECT_RULES
+from repro.analysis.dataflow import DATAFLOW_RULES
 from repro.analysis.model import ModuleInfo, Violation, build_module, module_from_source
 from repro.analysis.rules import MODULE_RULES, Rule
 
@@ -37,13 +38,17 @@ from repro.analysis.rules import MODULE_RULES, Rule
 #: not produced by a rule object.
 INTEGRITY_CODE = "RPR000"
 
+#: Every project-wide rule: the call-graph purity rule plus the
+#: sync-protocol dataflow rules (RPR030-032).
+ALL_PROJECT_RULES: tuple[Rule, ...] = (*PROJECT_RULES, *DATAFLOW_RULES)
+
 #: Directory names never descended into during discovery.
 SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", "build", "dist"})
 
 
 def all_rules() -> list[Rule]:
     """Every registered rule, in code order."""
-    return sorted([*MODULE_RULES, *PROJECT_RULES], key=lambda rule: rule.code)
+    return sorted([*MODULE_RULES, *ALL_PROJECT_RULES], key=lambda rule: rule.code)
 
 
 def known_codes() -> set[str]:
@@ -203,7 +208,7 @@ def lint_paths(
             )
         for rule in MODULE_RULES:
             raw_violations.extend(rule.check(module))
-    for project_rule in PROJECT_RULES:
+    for project_rule in ALL_PROJECT_RULES:
         raw_violations.extend(project_rule.check_project(modules))
 
     # --select / --ignore filtering (integrity findings always survive
@@ -248,7 +253,7 @@ def lint_source(source: str, filename: str = "<snippet>") -> list[Violation]:
     violations: list[Violation] = []
     for rule in MODULE_RULES:
         violations.extend(rule.check(module))
-    for project_rule in PROJECT_RULES:
+    for project_rule in ALL_PROJECT_RULES:
         violations.extend(project_rule.check_project([module]))
     return sorted(violations, key=lambda violation: (violation.line, violation.code))
 
@@ -266,6 +271,38 @@ def render_text(report: LintReport, stream: TextIO) -> None:
     print(report.summary(), file=stream)
 
 
+def _github_escape(value: str, *, property: bool = False) -> str:
+    """Escape per GitHub's workflow-command rules (`%`/newlines; `,`/`:`)."""
+    value = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        value = value.replace(":", "%3A").replace(",", "%2C")
+    return value
+
+
+def render_github(report: LintReport, stream: TextIO) -> None:
+    """GitHub Actions workflow commands: inline PR annotations.
+
+    Violations become ``::error`` annotations anchored at file/line/col;
+    stale baseline entries become ``::warning`` lines (no location — the
+    site they pointed at no longer exists).
+    """
+    for violation in report.violations:
+        location = (
+            f"file={_github_escape(violation.path, property=True)},"
+            f"line={violation.line},col={violation.column},"
+            f"title={_github_escape(violation.code, property=True)}"
+        )
+        message = _github_escape(f"[{violation.context}] {violation.message}")
+        print(f"::error {location}::{message}", file=stream)
+    for entry in report.stale_baseline:
+        message = _github_escape(
+            f"stale baseline entry {entry.code} {entry.path} ({entry.context}) "
+            "no longer matches anything — remove it"
+        )
+        print(f"::warning title=stale-baseline::{message}", file=stream)
+    print(report.summary(), file=stream)
+
+
 # ------------------------------------------------------------------------ CLI
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the shared ``lint`` arguments on ``parser``."""
@@ -276,6 +313,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        dest="format",
+        help=(
+            "report format: 'text' (one line per finding) or 'github' "
+            "(::error workflow-command annotations for inline PR review)"
+        ),
+    )
     parser.add_argument(
         "--select",
         action="append",
@@ -347,6 +394,8 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
+    elif getattr(args, "format", "text") == "github":
+        render_github(report, sys.stdout)
     else:
         render_text(report, sys.stdout)
     return 0 if report.ok else 1

@@ -95,6 +95,30 @@ class ModuleInfo:
     #: Lines holding a ``noqa`` comment with no codes or no reason text.
     malformed_suppressions: list[int] = field(default_factory=list)
     _qualname_cache: dict[int, str] = field(default_factory=dict)
+    _node_index: "dict[type, list[ast.AST]] | None" = field(default=None, repr=False)
+
+    # ---------------------------------------------------------- shared walks
+    def nodes(self, kind) -> list[ast.AST]:
+        """All nodes of ``kind`` (a type or tuple of types).
+
+        The index is built with **one** ``ast.walk`` on first use and
+        shared by every rule, so a lint run walks each tree once instead
+        of once per rule.  Single-type requests keep ``ast.walk`` order
+        (what :func:`iter_nodes` produced); tuple requests merge the
+        per-type buckets into source order.
+        """
+        if self._node_index is None:
+            index: dict[type, list[ast.AST]] = {}
+            for node in ast.walk(self.tree):
+                index.setdefault(type(node), []).append(node)
+            self._node_index = index
+        if isinstance(kind, tuple):
+            merged: list[ast.AST] = []
+            for one in kind:
+                merged.extend(self._node_index.get(one, ()))
+            merged.sort(key=lambda node: (getattr(node, "lineno", 0), getattr(node, "col_offset", 0)))
+            return merged
+        return self._node_index.get(kind, [])
 
     # ------------------------------------------------------------- scope views
     def enclosing_defs(self, node: ast.AST) -> list[ast.AST]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from repro.analysis.model import ModuleInfo, Violation, iter_nodes
+from repro.analysis.model import ModuleInfo, Violation
 
 #: Function names allowed to call ``hash()`` on their own fields: the
 #: value-object hashing idiom (cached in ``__post_init__`` or computed
@@ -205,7 +205,7 @@ class BuiltinHashRule(Rule):
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
-        for call in iter_nodes(module.tree, ast.Call):
+        for call in module.nodes(ast.Call):
             func = call.func
             if not (isinstance(func, ast.Name) and func.id == "hash"):
                 continue
@@ -264,7 +264,7 @@ class NondeterministicSourceRule(Rule):
         return None
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
-        for call in iter_nodes(module.tree, ast.Call):
+        for call in module.nodes(ast.Call):
             dotted = self._resolve(module, call.func)
             if dotted is None:
                 continue
@@ -490,7 +490,7 @@ class SubmitCallableRule(Rule):
             )
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
-        for call in iter_nodes(module.tree, ast.Call):
+        for call in module.nodes(ast.Call):
             func = call.func
             if isinstance(func, ast.Attribute) and func.attr == "submit":
                 nested = self._nested_function_names(module.enclosing_function(call))
@@ -527,7 +527,7 @@ class FrozenSetattrRule(Rule):
     )
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
-        for call in iter_nodes(module.tree, ast.Call):
+        for call in module.nodes(ast.Call):
             func = call.func
             if not (
                 isinstance(func, ast.Attribute)
@@ -593,7 +593,7 @@ class CachedHashMutableFieldRule(Rule):
                 yield statement.target.id, sorted(mutable)[0]
 
     def check(self, module: ModuleInfo) -> Iterator[Violation]:
-        for klass in iter_nodes(module.tree, ast.ClassDef):
+        for klass in module.nodes(ast.ClassDef):
             if not self._caches_hash(klass):
                 continue
             for field_name, kind in self._mutable_fields(klass):

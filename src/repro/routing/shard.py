@@ -387,6 +387,26 @@ def _run_shard(task: ShardTask) -> tuple["SimulationReport", list[PrefixState]]:
     return report, deltas
 
 
+def _fingerprint_shard(task: tuple) -> "list[PrefixState] | None":
+    """Sanitizer audit entry point: capture the resident state of given pairs.
+
+    ``task`` is ``(epoch, pairs)`` with ``pairs`` a list of
+    ``(prefix, holder_asns)``.  Returns the worker's
+    :func:`capture_prefix_state` snapshot for exactly those pairs, or
+    ``None`` when the worker sits on a different epoch (its resident
+    state is already condemned, so there is nothing settled to compare).
+    Only dispatched by :func:`repro.analysis.sanitizer.check_drain`.
+    """
+    epoch, pairs = task
+    simulator = _resident_simulator()
+    if epoch != _WORKER_EPOCH:
+        return None
+    holders = {prefix: set(holder_asns) for prefix, holder_asns in pairs}
+    return capture_prefix_state(
+        simulator, [prefix for prefix, _holder_asns in pairs], holders=holders
+    )
+
+
 # ---------------------------------------------------------------------- pool
 def _shutdown_executors(
     executors: "list[ProcessPoolExecutor | None]", wait: bool = True
@@ -473,11 +493,21 @@ class ShardPool:
         """
         if self._slot_epochs[slot] != self.epoch:
             self._slot_epochs[slot] = self.epoch
-            return self.epoch, config_supplier()
-        return self.epoch, None
+            header: "tuple[int, dict[int, tuple] | None]" = (self.epoch, config_supplier())
+        else:
+            header = (self.epoch, None)
+        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            from repro.analysis.sanitizer import check_sync_header
+
+            check_sync_header(self, slot, header[0], header[1])
+        return header
 
     def submit(self, slot: int, fn, task) -> "Future":
         """Dispatch ``fn(task)`` to ``slot``'s resident worker."""
+        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            from repro.analysis.sanitizer import check_submit
+
+            check_submit(self, slot, task)
         executor = self._executors[slot]
         if executor is None:
             executor = ProcessPoolExecutor(

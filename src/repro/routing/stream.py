@@ -34,6 +34,7 @@ property-style test of exactly that.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -140,7 +141,12 @@ class SimulatorService:
         if not batch:
             return SimulationReport()
         self.stats.batches += 1
-        return self.simulator.apply(batch, shards=self.shards)
+        report = self.simulator.apply(batch, shards=self.shards)
+        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            from repro.analysis.sanitizer import check_drain
+
+            check_drain(self.simulator)
+        return report
 
     def __enter__(self) -> "SimulatorService":
         return self

@@ -7,13 +7,14 @@ while explicit file arguments are linted regardless of extension.
 """
 
 import json
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import (
+    ALL_PROJECT_RULES,
     MODULE_RULES,
-    PROJECT_RULES,
     BaselineEntry,
     BaselineError,
     apply_baseline,
@@ -51,6 +52,9 @@ class TestKnownBadFixtures:
             ("frozen_setattr.py_", {"RPR020"}),
             ("cached_hash_mutable.py_", {"RPR021"}),
             ("missing_noqa_reason.py_", {"RPR000", "RPR001"}),
+            ("resident_unrecorded_mutation.py_", {"RPR030"}),
+            ("config_uncaptured_attr.py_", {"RPR031"}),
+            ("fork_aliased_state.py_", {"RPR011", "RPR032"}),
         ],
     )
     def test_fixture_flagged(self, name, expected_codes):
@@ -58,7 +62,13 @@ class TestKnownBadFixtures:
         assert codes_in(report.violations) == expected_codes
 
     @pytest.mark.parametrize(
-        "name", ["clean.py_", "shard_submit_picklable.py_"]
+        "name",
+        [
+            "clean.py_",
+            "shard_submit_picklable.py_",
+            "resident_recorded_mutation.py_",
+            "config_captured_attr.py_",
+        ],
     )
     def test_known_good_fixture_is_clean(self, name):
         report = lint_paths([fixture(name)])
@@ -188,6 +198,96 @@ class TestRuleEdges:
         assert contexts == {"_record", "_run_shard"}
 
 
+# ------------------------------------------------------------- dataflow edges
+class TestDataflowRuleEdges:
+    """CFG/def-use behaviour of the RPR03x sync-protocol rules."""
+
+    def test_record_on_one_branch_only_is_flagged(self):
+        src = (
+            "def partial(simulator, prefix, flag):\n"
+            "    router = simulator.routers[65001]\n"
+            "    router.loc_rib.remove(prefix)\n"
+            "    if flag:\n"
+            "        simulator._pending_sync.setdefault(prefix, set()).add(65001)\n"
+        )
+        assert "RPR030" in codes_in(lint_source(src))
+
+    def test_record_before_mutation_is_sanctioned(self):
+        """Record-then-mutate is as coherent as mutate-then-record."""
+        src = (
+            "def touch_first(simulator, prefix):\n"
+            "    simulator._last_touched.setdefault(prefix, set()).add(65001)\n"
+            "    router = simulator.routers[65001]\n"
+            "    router.loc_rib.remove(prefix)\n"
+        )
+        assert "RPR030" not in codes_in(lint_source(src))
+
+    def test_record_inside_following_loop_is_sanctioned(self):
+        """Loop bodies execute at least once in the CFG under-approximation."""
+        src = (
+            "def loops(simulator, prefix, asns):\n"
+            "    router = simulator.routers[65001]\n"
+            "    router.originate(prefix, None)\n"
+            "    for asn in asns:\n"
+            "        simulator._last_touched.setdefault(prefix, set()).add(asn)\n"
+        )
+        assert "RPR030" not in codes_in(lint_source(src))
+
+    def test_state_shipping_helpers_are_exempt(self):
+        """install/clear_prefix_state ARE the sync protocol — no records needed."""
+        src = (
+            "def install_prefix_state(simulator, states):\n"
+            "    for state in states:\n"
+            "        router = simulator.routers[state[0]]\n"
+            "        router.loc_rib.remove(state[1])\n"
+        )
+        assert "RPR030" not in codes_in(lint_source(src))
+
+    def test_mutator_on_non_router_value_not_flagged(self):
+        src = (
+            "def tally(report, prefix):\n"
+            "    report.rows.append(prefix)\n"
+            "    return report\n"
+        )
+        assert "RPR030" not in codes_in(lint_source(src))
+
+    def test_config_rule_needs_a_capture_to_diff_against(self):
+        """Without capture_router_config in the module RPR031 stays quiet."""
+        src = (
+            "class MiniRouter:\n"
+            "    def __init__(self):\n"
+            "        self.vendor = 'frr'\n"
+            "\n"
+            "def flip(router):\n"
+            "    router.vendor = 'bird'\n"
+        )
+        assert "RPR031" not in codes_in(lint_source(src))
+
+    def test_config_rule_ignores_non_router_classes(self):
+        """A class sharing < 2 captured attrs is not the fingerprinted router."""
+        report = lint_paths([fixture("config_captured_attr.py_")])
+        assert codes_in(report.violations) == set()
+
+    def test_fork_alias_anchored_at_parent_side_read(self):
+        report = lint_paths([fixture("fork_aliased_state.py_")])
+        fork_hits = [v for v in report.violations if v.code == "RPR032"]
+        assert len(fork_hits) == 1
+        assert fork_hits[0].context == "drain"
+        assert "_SHARED_CACHE" in fork_hits[0].message
+
+    def test_test_modules_exempt_from_resident_rules_only(self):
+        """test_* files poke simulator state freely, but fork aliasing still counts."""
+        src = (
+            "def poke(simulator, prefix, entry):\n"
+            "    router = simulator.routers[65001]\n"
+            "    router.loc_rib.set_best(prefix, entry)\n"
+        )
+        assert "RPR030" in codes_in(lint_source(src))
+        assert "RPR030" not in codes_in(
+            lint_source(src, filename="tests/test_poke.py")
+        )
+
+
 # ---------------------------------------------------------------- suppressions
 class TestSuppressions:
     def test_valid_noqa_with_reason_suppresses(self, tmp_path):
@@ -218,6 +318,18 @@ class TestSuppressions:
     def test_integrity_code_survives_select(self):
         report = lint_paths([fixture("missing_noqa_reason.py_")], select=["RPR002"])
         assert codes_in(report.violations) == {"RPR000"}
+
+    def test_noqa_suppresses_dataflow_codes(self, tmp_path):
+        """RPR03x findings honour the same inline suppression contract."""
+        target = tmp_path / "snippet.py_"
+        target.write_text(
+            "def poke(simulator, prefix, entry):\n"
+            "    router = simulator.routers[65001]\n"
+            "    router.loc_rib.set_best(prefix, entry)  # repro: noqa[RPR030]: bench harness, no resident pool attached\n"
+        )
+        report = lint_paths([str(target)])
+        assert report.violations == []
+        assert report.suppressed == 1
 
 
 # -------------------------------------------------------------------- baseline
@@ -264,7 +376,28 @@ class TestBaseline:
         entries = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
         assert entries, "shipped baseline should carry the shard worker-state entries"
         assert all("PENDING" not in e.reason for e in entries)
-        assert all(e.code == "RPR011" for e in entries)
+        assert {e.code for e in entries} <= {"RPR011", "RPR032"}
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "resident_unrecorded_mutation.py_",
+            "config_uncaptured_attr.py_",
+            "fork_aliased_state.py_",
+        ],
+    )
+    def test_round_trip_absorbs_dataflow_findings(self, name, tmp_path):
+        """The RPR03x codes participate in the baseline workflow like any other."""
+        report = lint_paths([fixture(name)])
+        assert report.violations
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report.violations)
+        remaining, baselined, stale = apply_baseline(
+            report.violations, load_baseline(baseline_file)
+        )
+        assert remaining == []
+        assert baselined == len(report.violations)
+        assert stale == []
 
 
 # ------------------------------------------------------------------------- CLI
@@ -283,6 +416,9 @@ class TestCli:
             "frozen_setattr.py_",
             "cached_hash_mutable.py_",
             "missing_noqa_reason.py_",
+            "resident_unrecorded_mutation.py_",
+            "config_uncaptured_attr.py_",
+            "fork_aliased_state.py_",
         ],
     )
     def test_exit_nonzero_on_each_known_bad_fixture(self, name, capsys):
@@ -327,8 +463,26 @@ class TestCli:
     def test_list_rules_mentions_every_code(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in (*MODULE_RULES, *PROJECT_RULES):
+        for rule in (*MODULE_RULES, *ALL_PROJECT_RULES):
             assert rule.code in out
+
+    def test_github_format_emits_error_annotations(self, capsys):
+        code = main([
+            fixture("set_order_leak.py_"), "--no-baseline", "--format", "github",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("::error ")]
+        assert lines, out
+        assert all("file=" in l and "line=" in l and "title=RPR003" in l
+                   for l in lines)
+
+    def test_github_format_escapes_annotation_payloads(self):
+        from repro.analysis.engine import _github_escape
+
+        assert _github_escape("a\nb\rc%d") == "a%0Ab%0Dc%25d"
+        # Property values additionally escape the workflow-command delimiters.
+        assert _github_escape("p,q:r", property=True) == "p%2Cq%3Ar"
 
 
 # ---------------------------------------------------------------- project gate
@@ -347,3 +501,39 @@ class TestProjectTree:
             "--baseline", str(REPO_ROOT / ".repro-lint-baseline.json"),
         ])
         assert code == 0, capsys.readouterr().out
+
+
+# ------------------------------------------------------------------ lint perf
+class TestLintPerformance:
+    """Each module is parsed and walked once, shared across all rules."""
+
+    def test_node_index_built_once_and_shared(self):
+        import ast
+
+        from repro.analysis.engine import module_from_source
+
+        module = module_from_source(
+            "def f(x):\n    return [y for y in sorted(x)]\n",
+            Path("<snippet>"),
+            "<snippet>",
+        )
+        calls = module.nodes(ast.Call)
+        assert module.nodes(ast.Call) is calls  # cached bucket, no re-walk
+        assert {type(n) for n in calls} == {ast.Call}
+        mixed = module.nodes((ast.Call, ast.FunctionDef))
+        assert [type(n) for n in mixed[:1]] == [ast.FunctionDef]  # source order
+        assert len(mixed) == len(calls) + 1
+
+    def test_full_src_lint_stays_fast(self, capsys):
+        """Wall-time smoke: the whole-tree lint (every rule, CFG + call graph)
+        must stay interactive.  The bound is deliberately generous — it
+        catches an accidental per-rule re-parse (an order-of-magnitude
+        regression), not scheduler jitter."""
+        start = time.perf_counter()
+        main([
+            str(REPO_ROOT / "src"),
+            "--baseline", str(REPO_ROOT / ".repro-lint-baseline.json"),
+        ])
+        elapsed = time.perf_counter() - start
+        capsys.readouterr()
+        assert elapsed < 20.0, f"lint of src took {elapsed:.1f}s"
