@@ -31,6 +31,7 @@ from repro.bgp.prefix import Prefix
 from repro.dataplane.forwarding import DataPlane
 from repro.experiments.grid import worker_budget
 from repro.routing.engine import BgpSimulator
+from repro.routing.wire import WIRE_ENV
 from repro.topology.generator import TopologyGenerator, TopologyParameters
 
 #: Quick mode: any value except unset/empty/"0" activates it.
@@ -66,15 +67,16 @@ def _run_single_process(topology, events) -> tuple[BgpSimulator, DataPlane]:
     return simulator, dataplane
 
 
-def _run_sharded(topology, events, workers: int) -> tuple[BgpSimulator, DataPlane]:
+def _run_sharded(topology, events, workers: int) -> tuple[BgpSimulator, DataPlane, int]:
     """K prefix shards over K worker processes, merged back into the parent."""
     simulator = BgpSimulator(topology, shards=workers, max_workers=workers)
     try:
         dataplane = DataPlane(simulator)
         dataplane.rebuild(simulator.announce_many(events))
+        ship_bytes = simulator._shard_pool.ship_bytes
     finally:
         simulator.close()
-    return simulator, dataplane
+    return simulator, dataplane, ship_bytes
 
 
 def _timed(run, *args):
@@ -115,8 +117,9 @@ def test_sharded_propagation_vs_single_process(benchmark):
     )
 
     sharded_seconds: dict[int, float] = {}
+    codec_bytes = 0
     for workers in WORKER_COUNTS[:-1]:
-        (sharded_sim, sharded_plane), seconds = _timed(
+        (sharded_sim, sharded_plane, codec_bytes), seconds = _timed(
             _run_sharded, topology, events, workers
         )
         _assert_identical(single_sim, single_plane, sharded_sim, sharded_plane)
@@ -124,12 +127,26 @@ def test_sharded_propagation_vs_single_process(benchmark):
         del sharded_sim, sharded_plane
 
     last = WORKER_COUNTS[-1]
-    sharded_sim, sharded_plane = benchmark.pedantic(
+    sharded_sim, sharded_plane, last_bytes = benchmark.pedantic(
         _run_sharded, args=(topology, events, last), rounds=1, iterations=1
     )
     _assert_identical(single_sim, single_plane, sharded_sim, sharded_plane)
-    (_check_sim, _check_plane), seconds = _timed(_run_sharded, topology, events, last)
+    codec_bytes = codec_bytes or last_bytes
+    (_check_sim, _check_plane, _), seconds = _timed(_run_sharded, topology, events, last)
     sharded_seconds[last] = seconds
+
+    # Wire-codec A/B on the same batch: re-run the first worker count
+    # with the pickle baseline and compare the pools' ship accounting.
+    ab_workers = WORKER_COUNTS[0]
+    previous = os.environ.get(WIRE_ENV)
+    os.environ[WIRE_ENV] = "pickle"
+    try:
+        _sim, _plane, pickle_bytes = _run_sharded(topology, events, ab_workers)
+    finally:
+        if previous is None:
+            os.environ.pop(WIRE_ENV, None)
+        else:
+            os.environ[WIRE_ENV] = previous
 
     print()
     print(
@@ -143,12 +160,24 @@ def test_sharded_propagation_vs_single_process(benchmark):
             f"  sharded, {workers} workers:        {seconds:.2f} s"
             f"  (speedup {speedup:.2f}x)"
         )
+    print(
+        f"  ship bytes, {ab_workers} workers:     {codec_bytes / 1024:.1f} KiB codec"
+        f" vs {pickle_bytes / 1024:.1f} KiB pickle"
+        f" ({pickle_bytes / codec_bytes:.1f}x)"
+    )
     grid_workers, shard_budget = worker_budget(8, shards_per_task=last, cpu_total=cpu_total)
     print(
         f"  grid composition: {grid_workers} grid worker(s) x {shard_budget} shard"
         f" worker(s) <= {cpu_total} CPU(s)"
     )
     assert grid_workers * shard_budget <= max(cpu_total, grid_workers)
+
+    # The compact codec must cut the cold-batch ship volume outright —
+    # counters are deterministic, so this gate also runs in quick mode.
+    assert codec_bytes < pickle_bytes, (
+        f"codec shipped {codec_bytes} bytes but the pickle baseline shipped "
+        f"{pickle_bytes} on the identical batch"
+    )
 
     # Process parallelism has to pay for shipping the per-prefix state
     # back through the parent (the serial tail of the merge), so the win
@@ -162,3 +191,15 @@ def test_sharded_propagation_vs_single_process(benchmark):
             f"single-process batch engine ({single_seconds:.2f} s) on "
             f"{cpu_total} CPUs"
         )
+        # Scaling sanity: with the codec shrinking the serial merge
+        # tail, adding workers must not make things slower.  5%
+        # tolerance absorbs scheduler noise on shared CI boxes.
+        speedups = {
+            workers: single_seconds / seconds
+            for workers, seconds in sharded_seconds.items()
+        }
+        for low, high in zip(sorted(speedups), sorted(speedups)[1:]):
+            assert speedups[high] >= speedups[low] * 0.95, (
+                f"speedup regressed from {speedups[low]:.2f}x at {low} workers "
+                f"to {speedups[high]:.2f}x at {high} workers"
+            )

@@ -167,37 +167,55 @@ def resolve_harvest_shards(
 
 
 # ---------------------------------------------------------------- sharded path
-#: One slot's task payload: ``(epoch, router_config | None, additions,
-#: items, states, timestamp)`` — the same sync header the propagation
-#: tasks carry, the full work-list, and the slot's pending state deltas.
+#: One slot's task payload: ``(epoch, router_config | None,
+#: additions_blob, items_blob, states_blob, timestamp)`` — the same
+#: sync header the propagation tasks carry, the full work-list, and the
+#: slot's pending state deltas, all as :mod:`repro.routing.wire` blobs.
 HarvestTask = tuple
 
 
-def _run_harvest_shard(task: HarvestTask) -> list[tuple[int, list[RouteObservation]]]:
+def _run_harvest_shard(task: HarvestTask) -> bytes:
     """Worker entry point: export the work-list from the resident Loc-RIBs.
 
     The worker's routers already hold the converged state of this
     slot's prefix shards (``states`` carries only what the parent
     mutated since the last dispatch), so each item's export is simply
     ``export_all_to`` over the resident table — which contains exactly
-    this slot's share of the peer's prefixes.  Rows are tagged with
-    their work-list index; the parent reorders each item's merged rows
-    into its own Loc-RIB order.
+    this slot's share of the peer's prefixes.  Rows carry only the
+    per-route payload (prefix, AS path, communities) plus their
+    work-list index; the parent re-attaches the per-item constants and
+    reorders each item's merged rows into its own Loc-RIB order.
     """
     from repro.routing import shard as shard_module
+    from repro.routing import wire
 
-    epoch, router_config, additions, items, states, timestamp = task
+    epoch, router_config, additions_blob, items_blob, states_blob, timestamp = task
     simulator = shard_module._resident_simulator()
+    interner = simulator._wire_intern
     shard_module._sync_worker(simulator, epoch, router_config)
-    shard_module.install_prefix_state(simulator, states, stale=None)
-    shard_module._install_additions(simulator, additions)
+    shard_module.install_prefix_state(
+        simulator, wire.decode_states(states_blob, interner), stale=None
+    )
+    shard_module._install_additions(simulator, wire.decode_additions(additions_blob, interner))
     export_cache: dict = {}
-    results: list[tuple[int, list[RouteObservation]]] = []
-    for item in items:
+    results: list[tuple[int, list[tuple]]] = []
+    for fields in wire.decode_items(items_blob, interner):
+        item = HarvestItem(*fields)
         router = simulator.routers[item.peer_asn]
         router.add_neighbor(item.collector_asn, Relationship.CUSTOMER)
-        results.append((item.index, _export_item(simulator, item, timestamp, export_cache)))
-    return results
+        shared_key = router.export_memo_key(item.collector_asn)
+        rows = [
+            (
+                announcement.prefix,
+                tuple(announcement.attributes.as_path.asns()),
+                announcement.attributes.communities,
+            )
+            for announcement in router.export_all_to(
+                item.collector_asn, export_cache, shared_key
+            )
+        ]
+        results.append((item.index, rows))
+    return wire.encode_observations(results)
 
 
 def _harvest_sharded(
@@ -208,6 +226,7 @@ def _harvest_sharded(
 ) -> ObservationArchive:
     """Export from the resident workers, merge in work-list + Loc-RIB order."""
     from repro.routing import shard as shard_module
+    from repro.routing import wire
 
     # The parent registers every session too, exactly like the serial
     # path — parent simulator state is identical whichever path ran.
@@ -236,9 +255,13 @@ def _harvest_sharded(
         for asn, router in simulator.routers.items()
         if router.export_community_additions
     }
-    items_tuple = tuple(items)
+    by_index = {item.index: item for item in items}
     futures = []
     try:
+        # The additions and the work-list encode once: every slot ships
+        # the exact same blobs.
+        additions_blob = wire.encode_additions(additions)
+        items_blob = wire.encode_items(items)
         for slot in live_slots:
             sync = slot_sync.get(slot, {})
             states = shard_module.capture_prefix_state(simulator, list(sync), holders=sync)
@@ -248,7 +271,8 @@ def _harvest_sharded(
                 pool.submit(
                     slot,
                     _run_harvest_shard,
-                    (epoch, config, additions, items_tuple, states, timestamp),
+                    (epoch, config, additions_blob, items_blob,
+                     wire.encode_states(states), timestamp),
                 )
             )
         outcomes = [future.result() for future in futures]
@@ -257,12 +281,28 @@ def _harvest_sharded(
         raise
     # Merge: each item's observations arrive split across slots; the
     # serial export order is the parent peer's Loc-RIB insertion order,
-    # so sort each item's rows by the parent's own position map.
+    # so sort each item's rows by the parent's own position map.  The
+    # wire rows carry only (prefix, as_path, communities) — the
+    # per-item constants and the timestamp are re-attached here, with
+    # the communities interned through the parent's own table.
     by_item: dict[int, list[RouteObservation]] = {}
-    for rows in outcomes:
-        for index, observations in rows:
-            if observations:
-                by_item.setdefault(index, []).extend(observations)
+    for blob in outcomes:
+        for index, rows in wire.decode_observations(blob, simulator._wire_intern):
+            if not rows:
+                continue
+            item = by_index[index]
+            by_item.setdefault(index, []).extend(
+                RouteObservation(
+                    platform=item.platform,
+                    collector_id=item.collector_id,
+                    peer_asn=item.peer_asn,
+                    prefix=prefix,
+                    as_path=as_path,
+                    communities=communities,
+                    timestamp=timestamp,
+                )
+                for prefix, as_path, communities in rows
+            )
     order_cache: dict[int, dict["Prefix", int]] = {}
     archive = ObservationArchive()
     for item in items:

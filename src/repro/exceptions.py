@@ -33,6 +33,10 @@ class MessageError(ReproError, ValueError):
     """A BGP message cannot be encoded or decoded."""
 
 
+class WireError(ReproError, ValueError):
+    """A shard-protocol wire blob cannot be encoded or decoded."""
+
+
 class MrtError(ReproError, ValueError):
     """An MRT record cannot be encoded or decoded."""
 

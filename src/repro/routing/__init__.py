@@ -13,6 +13,7 @@ from repro.routing.engine import (
 )
 from repro.routing.route_server import RouteServer, RouteServerDecision
 from repro.routing.shard import ShardPool, partition_events, shard_worker_budget, stable_shard
+from repro.routing.wire import AttributeInterner, WIRE_ENV, wire_format
 from repro.routing.stream import (
     SimulatorService,
     StreamStats,
@@ -44,4 +45,7 @@ __all__ = [
     "coalesce_events",
     "parse_event",
     "read_event_stream",
+    "AttributeInterner",
+    "WIRE_ENV",
+    "wire_format",
 ]

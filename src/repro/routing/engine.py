@@ -74,7 +74,6 @@ see :mod:`repro.routing.stream`, a thin front end over ``apply``.
 from __future__ import annotations
 
 import contextlib
-import pickle
 import weakref
 from collections import deque
 from dataclasses import dataclass, field
@@ -84,6 +83,7 @@ from repro.bgp.community import CommunitySet
 from repro.bgp.prefix import Prefix
 from repro.exceptions import ConvergenceError, RoutingError
 from repro.routing.router import Router
+from repro.routing.wire import AttributeInterner
 from repro.topology.relationships import Relationship
 from repro.topology.topology import Topology
 
@@ -283,6 +283,10 @@ class BgpSimulator:
         #: The router configuration capture the live pool's epoch
         #: reflects (see ``_refresh_pool_epoch``).
         self._pool_config: dict[int, tuple] | None = None
+        #: Wire-codec attribute interner: every delta decoded on merge
+        #: replay shares one ``PathAttributes``/``ASPath``/``CommunitySet``
+        #: object per distinct value, for the simulator's whole lifetime.
+        self._wire_intern = AttributeInterner()
         for asys in topology:
             relationships = {
                 neighbor: topology.relationship(asys.asn, neighbor)
@@ -500,8 +504,15 @@ class BgpSimulator:
         routers.  All results are materialised before any merge, so a
         failing shard leaves the parent untouched (the pool epoch is
         bumped so the workers' partial state is discarded too).
+
+        Everything on the wire is a :mod:`repro.routing.wire` blob: the
+        additions encode once per batch (every slot ships the same
+        bytes), events and states once per shard, and the returned
+        delta blobs decode through ``self._wire_intern`` so the merge
+        replay shares one attribute bundle per distinct set.
         """
         from repro.routing import shard as shard_module
+        from repro.routing import wire
 
         pool = self._ensure_pool(shard_count)
         self._refresh_pool_epoch(pool)
@@ -514,6 +525,7 @@ class BgpSimulator:
         futures = []
         stale: set[Prefix] = set()
         try:
+            additions_blob = wire.encode_additions(additions)
             for shard_index, shard_events in groups:
                 prefixes = _distinct_prefixes(shard_events)
                 stale.update(p for p in prefixes if self._prefix_holders.get(p))
@@ -530,7 +542,13 @@ class BgpSimulator:
                     pool.submit(
                         slot,
                         shard_module._run_shard,
-                        (epoch, config, additions, shard_events, states),
+                        (
+                            epoch,
+                            config,
+                            additions_blob,
+                            wire.encode_events(shard_events),
+                            wire.encode_states(states),
+                        ),
                     )
                 )
             outcomes = [future.result() for future in futures]
@@ -543,8 +561,10 @@ class BgpSimulator:
             raise
         report = SimulationReport()
         stale = frozenset(stale)
-        for worker_report, deltas in outcomes:
-            shard_module.install_prefix_state(self, deltas, stale=stale)
+        for worker_report, delta_blob in outcomes:
+            shard_module.install_prefix_state(
+                self, wire.decode_states(delta_blob, self._wire_intern), stale=stale
+            )
             report.merge(worker_report)
         return report
 
@@ -573,9 +593,14 @@ class BgpSimulator:
             self.close()
         workers = max(1, min(wanted_shards, limit))
         config = capture_router_config(self)
-        payload = pickle.dumps((self.topology, config), protocol=pickle.HIGHEST_PROTOCOL)
+        # The snapshot tuple is handed over as live objects: the pool
+        # parks it in the pre-fork registry and workers inherit it via
+        # fork copy-on-write (no per-worker pickle round trip).
         pool = ShardPool(
-            payload, max_rounds=self.max_rounds, workers=workers, shards=wanted_shards
+            (self.topology, config),
+            max_rounds=self.max_rounds,
+            workers=workers,
+            shards=wanted_shards,
         )
         self._shard_pool = pool
         self._pool_config = config

@@ -23,9 +23,13 @@ module turns that property into a **long-lived service**:
 * :class:`ShardPool` — K slot-pinned single-worker executors.  Shard
   ``i`` always runs on slot ``i % workers`` (:meth:`ShardPool.slot_for`),
   so a worker's **resident** RIB state for its shards stays valid across
-  batches.  The pickled ``(topology, router configuration)`` snapshot is
-  shipped once per worker at start-up; afterwards tasks carry only
-  events plus the parent-side *deltas* for their shard's prefixes.
+  batches.  The ``(topology, router configuration)`` snapshot is parked
+  in a pre-fork module-level registry and inherited by each worker via
+  fork copy-on-write (no per-process ``pickle.loads``; a pickled
+  payload is the fallback where ``fork`` is unavailable); afterwards
+  tasks carry only events plus the parent-side *deltas* for their
+  shard's prefixes, all encoded with the compact
+  :mod:`repro.routing.wire` codec.
 
 Residency protocol
 ------------------
@@ -59,6 +63,8 @@ skipped).
 from __future__ import annotations
 
 import atexit
+import itertools
+import multiprocessing
 import os
 import pickle
 import weakref
@@ -66,6 +72,7 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.bgp.prefix import Prefix
+from repro.routing import wire
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
     from repro.bgp.attributes import PathAttributes
@@ -77,9 +84,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
 #: propagation parallelism never oversubscribes the machine.
 SHARD_BUDGET_ENV = "REPRO_SHARD_BUDGET"
 
-#: Environment variable enabling exact parent->worker ship accounting
-#: (:attr:`ShardPool.ship_bytes`).  Off by default: it pickles every
-#: task twice, which is pure overhead outside benchmarks.
+#: Deprecated no-op alias (one release): ship accounting
+#: (:attr:`ShardPool.ship_bytes`) is now always on — the wire codec
+#: hands over exact encoded sizes for free, so the opt-in re-pickle
+#: double-encode this flag used to gate no longer exists.
 SHIP_STATS_ENV = "REPRO_SHIP_STATS"
 
 #: The complete state one router holds for one prefix:
@@ -87,10 +95,11 @@ SHIP_STATS_ENV = "REPRO_SHIP_STATS"
 #: ((neighbor_asn, adj_rib_in_entry), ...))``.
 PrefixState = tuple[Prefix, int, "PathAttributes | None", tuple]
 
-#: A shard task envelope: ``(epoch, router_config | None, additions,
-#: events, states)``.  ``router_config`` rides along only on the first
-#: task a slot sees after an epoch bump.
-ShardTask = tuple[int, "dict[int, tuple] | None", dict, list, list]
+#: A shard task envelope: ``(epoch, router_config | None,
+#: additions_blob, events_blob, states_blob)`` — the three payload
+#: fields are :mod:`repro.routing.wire` blobs; ``router_config`` rides
+#: along only on the first task a slot sees after an epoch bump.
+ShardTask = tuple[int, "dict[int, tuple] | None", bytes, bytes, bytes]
 
 _MIX_A = 0x9E3779B97F4A7C15
 _MIX_B = 0xBF58476D1CE4E5B9
@@ -257,6 +266,39 @@ def clear_prefix_state(simulator: "BgpSimulator", prefixes: Iterable[Prefix]) ->
             router.loc_rib.remove(prefix)
 
 
+# ----------------------------------------------------------- snapshot registry
+#: The ``fork`` multiprocessing context when the platform offers one —
+#: the start method that makes copy-on-write snapshot inheritance work.
+#: ``None`` (spawn-only platforms) falls back to pickled snapshots.
+_FORK_CONTEXT = (
+    multiprocessing.get_context("fork")
+    if "fork" in multiprocessing.get_all_start_methods()
+    else None
+)
+
+_SNAPSHOT_TOKENS = itertools.count(1)
+#: Pre-fork snapshot registry: ``token -> (topology, router_config)``.
+#: A :class:`ShardPool` parks its snapshot here at construction — before
+#: any worker exists — and every slot executor forks *after*, so workers
+#: inherit the objects through copy-on-write page sharing instead of
+#: ``pickle.loads``-ing a multi-megabyte payload per process.  Write
+#: once per pool, released at pool teardown; workers only ever read.
+_SNAPSHOT_REGISTRY: dict[int, tuple] = {}
+
+
+def _register_snapshot(snapshot: tuple) -> int:
+    """Park ``(topology, router_config)`` for fork inheritance; return its token."""
+    token = next(_SNAPSHOT_TOKENS)
+    _SNAPSHOT_REGISTRY[token] = snapshot  # repro: noqa[RPR011,RPR032]: pre-fork write-once registry — the parent writes before any slot executor forks and the entry is immutable until pool teardown, so every worker's copy-on-write view is exactly the parent's (same sanctioned pattern as the sanitizer's shadow map)
+    return token
+
+
+def _release_snapshot(token: "int | None") -> None:
+    """Drop a parked snapshot (idempotent; ``None`` means pickled fallback)."""
+    if token is not None:
+        _SNAPSHOT_REGISTRY.pop(token, None)  # repro: noqa[RPR032]: teardown of the pre-fork registry entry above; running workers forked long ago and never look the token up again
+
+
 # ------------------------------------------------------------------- workers
 #: Per-worker-process simulator, built once from the pool's topology
 #: snapshot and kept **resident** — its per-shard RIB state survives
@@ -307,12 +349,23 @@ def _apply_router_config(simulator: "BgpSimulator", router_config: dict[int, tup
         ) = config
 
 
-def _initialize_worker(snapshot_payload: bytes, max_rounds: int) -> None:
-    """Pool initializer: unpickle the snapshot, build the mirrored simulator."""
+def _initialize_worker(snapshot_ref: "int | bytes", max_rounds: int) -> None:
+    """Pool initializer: resolve the snapshot, build the mirrored simulator.
+
+    ``snapshot_ref`` is an :data:`_SNAPSHOT_REGISTRY` token on fork
+    platforms — the registry entry was written before this process
+    forked, so the lookup is a copy-on-write page read, not a
+    deserialisation — or the pickled ``(topology, router_config)``
+    payload on spawn-only platforms (and for legacy callers that still
+    hand :class:`ShardPool` pre-pickled bytes).
+    """
     global _WORKER_SIMULATOR, _WORKER_EPOCH, _WORKER_ADDITION_ASNS
     from repro.routing.engine import BgpSimulator
 
-    topology, router_config = pickle.loads(snapshot_payload)
+    if isinstance(snapshot_ref, int):
+        topology, router_config = _SNAPSHOT_REGISTRY[snapshot_ref]
+    else:
+        topology, router_config = pickle.loads(snapshot_ref)
     simulator = BgpSimulator(topology, max_rounds=max_rounds, shards=1)
     _apply_router_config(simulator, router_config)
     _WORKER_SIMULATOR = simulator
@@ -364,27 +417,31 @@ def _resident_simulator() -> "BgpSimulator":
     return simulator
 
 
-def _run_shard(task: ShardTask) -> tuple["SimulationReport", list[PrefixState]]:
+def _run_shard(task: ShardTask) -> tuple["SimulationReport", bytes]:
     """Worker entry point: converge one shard on resident state, return deltas.
 
     Unlike the stateless protocol this replaces, nothing is cleared up
     front: the worker's RIB state for its shards is authoritative (the
     parent shipped every pair it mutated since the last task via
     ``states``), so the install replaces exactly the shipped pairs and
-    convergence continues from where the previous batch left off.
+    convergence continues from where the previous batch left off.  Both
+    directions ride the :mod:`repro.routing.wire` codec; decoding
+    through the resident simulator's interner keeps one attribute
+    bundle per distinct set across the worker's whole lifetime.
     """
-    epoch, router_config, additions, events, states = task
+    epoch, router_config, additions_blob, events_blob, states_blob = task
     simulator = _resident_simulator()
+    interner = simulator._wire_intern
     _sync_worker(simulator, epoch, router_config)
-    install_prefix_state(simulator, states, stale=None)
-    _install_additions(simulator, additions)
-    report = simulator._apply_local(events)
+    install_prefix_state(simulator, wire.decode_states(states_blob, interner), stale=None)
+    _install_additions(simulator, wire.decode_additions(additions_blob, interner))
+    report = simulator._apply_local(wire.decode_events(events_blob, interner))
     # Ship back only the pairs this convergence touched: everything else
     # is either untouched in the parent or resident here for next time.
     deltas = capture_prefix_state(
         simulator, list(simulator._last_touched), holders=simulator._last_touched
     )
-    return report, deltas
+    return report, wire.encode_states(deltas)
 
 
 def _fingerprint_shard(task: tuple) -> "list[PrefixState] | None":
@@ -418,6 +475,16 @@ def _shutdown_executors(
             executor.shutdown(wait=wait, cancel_futures=True)
 
 
+def _teardown_pool(
+    executors: "list[ProcessPoolExecutor | None]",
+    snapshot_token: "int | None",
+    wait: bool = True,
+) -> None:
+    """Full pool teardown: stop the workers, release the parked snapshot."""
+    _shutdown_executors(executors, wait=wait)
+    _release_snapshot(snapshot_token)
+
+
 #: Every live pool, so the interpreter-exit hook can stop workers that
 #: neither GC (owner finalizer) nor an explicit ``shutdown`` reached.
 _LIVE_POOLS: "weakref.WeakSet[ShardPool]" = weakref.WeakSet()
@@ -436,8 +503,15 @@ class ShardPool:
     and ``workers`` how many processes serve them; shard ``i`` is always
     dispatched to slot ``i % workers``, which is what makes worker RIB
     state reusable across batches.  Each slot is a single-worker
-    executor started lazily on first use from the shared pickled
-    ``(topology, router configuration)`` snapshot.
+    executor started lazily on first use.
+
+    ``snapshot`` is the ``(topology, router configuration)`` tuple the
+    workers mirror.  On fork platforms it is parked in the pre-fork
+    :data:`_SNAPSHOT_REGISTRY` and each slot executor forks after the
+    write, so workers inherit it via copy-on-write without ever
+    deserialising it; spawn-only platforms (and callers that pass
+    pre-pickled ``bytes``) fall back to shipping the pickled payload to
+    each worker's initializer.
 
     The pool is a context manager, shuts its workers down from a GC
     finalizer, and any stragglers are stopped by an ``atexit`` hook —
@@ -447,7 +521,7 @@ class ShardPool:
 
     def __init__(
         self,
-        snapshot_payload: bytes,
+        snapshot: "tuple | bytes",
         max_rounds: int = 1000,
         workers: int = 1,
         shards: int | None = None,
@@ -461,16 +535,25 @@ class ShardPool:
         #: Cumulative count of :class:`PrefixState` entries shipped
         #: parent -> worker (cheap, always on).
         self.shipped_state_entries = 0
-        #: Cumulative pickled task bytes shipped parent -> worker.
-        #: Only tracked when :data:`SHIP_STATS_ENV` is set.
+        #: Cumulative encoded task payload bytes shipped parent ->
+        #: worker (wire blobs plus the pickled router config on epoch
+        #: bumps).  Always on: the sizes fall out of the codec for free.
         self.ship_bytes = 0
         self.tasks_dispatched = 0
-        self._payload = snapshot_payload
+        self._snapshot_token: "int | None" = None
+        if isinstance(snapshot, (bytes, bytearray)):
+            self._snapshot_ref: "int | bytes" = bytes(snapshot)
+        elif _FORK_CONTEXT is not None:
+            self._snapshot_token = _register_snapshot(snapshot)
+            self._snapshot_ref = self._snapshot_token
+        else:  # pragma: no cover - spawn-only platforms
+            self._snapshot_ref = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
         self._max_rounds = max_rounds
         self._executors: "list[ProcessPoolExecutor | None]" = [None] * self.workers
         self._slot_epochs = [0] * self.workers
-        self._track_ship_bytes = os.environ.get(SHIP_STATS_ENV, "") not in ("", "0")
-        self._finalizer = weakref.finalize(self, _shutdown_executors, self._executors)
+        self._finalizer = weakref.finalize(
+            self, _teardown_pool, self._executors, self._snapshot_token
+        )
         _LIVE_POOLS.add(self)
 
     def slot_for(self, shard_index: int) -> int:
@@ -512,13 +595,23 @@ class ShardPool:
         if executor is None:
             executor = ProcessPoolExecutor(
                 max_workers=1,
+                mp_context=_FORK_CONTEXT,
                 initializer=_initialize_worker,
-                initargs=(self._payload, self._max_rounds),
+                initargs=(self._snapshot_ref, self._max_rounds),
             )
             self._executors[slot] = executor
         self.tasks_dispatched += 1
-        if self._track_ship_bytes:
-            self.ship_bytes += len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+        size = 0
+        if isinstance(task, tuple):
+            for field in task:
+                if isinstance(field, (bytes, bytearray)):
+                    size += len(field)
+            config = task[1] if len(task) >= 2 else None
+            if config is not None:
+                # Router config still pickles (policy objects are not
+                # codec material) but only ships on epoch bumps.
+                size += len(pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL))
+        self.ship_bytes += size
         return executor.submit(fn, task)
 
     def __enter__(self) -> "ShardPool":
@@ -528,5 +621,5 @@ class ShardPool:
         self.shutdown()
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker processes (idempotent)."""
-        _shutdown_executors(self._executors, wait=wait)
+        """Stop the worker processes, release the snapshot (idempotent)."""
+        _teardown_pool(self._executors, self._snapshot_token, wait=wait)

@@ -250,6 +250,36 @@ class TestPoolLifecycle:
         assert all(executor is None for executor in pool._executors)
         pool.shutdown()
 
+    def test_tuple_snapshot_registers_and_releases_cow_token(self):
+        from repro.routing import shard as shard_module
+
+        topology = small_topology()
+        simulator = BgpSimulator(topology, shards=1)
+        snapshot = (topology, capture_router_config(simulator))
+        before = dict(shard_module._SNAPSHOT_REGISTRY)
+        with ShardPool(snapshot, workers=2, shards=4) as pool:
+            if shard_module._FORK_CONTEXT is not None:
+                token = pool._snapshot_token
+                assert token is not None
+                # Workers inherit the parent's objects via fork COW: the
+                # registry parks the snapshot itself, not a pickled copy.
+                assert shard_module._SNAPSHOT_REGISTRY[token] is snapshot
+        assert dict(shard_module._SNAPSHOT_REGISTRY) == before  # released
+        pool.shutdown()  # idempotent; the token never double-frees
+
+    def test_ship_bytes_accounting_is_always_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHIP_STATS", raising=False)
+        topology = small_topology()
+        events = make_events(topology, count=16)
+        simulator = BgpSimulator(topology, shards=2, max_workers=2)
+        try:
+            simulator.apply(events)
+            pool = simulator._shard_pool
+            assert pool.tasks_dispatched > 0
+            assert pool.ship_bytes > 0  # no env var needed any more
+        finally:
+            simulator.close()
+
     def test_pool_registered_for_atexit_teardown(self):
         from repro.routing import shard as shard_module
 

@@ -145,6 +145,90 @@ class TestCheckSubmit:
             check_submit(pool, 0, (1, {}, (), (), ()))
 
 
+class TestCodecAudit:
+    """check_submit round-trips every wire blob riding in the envelope."""
+
+    def make_states_blob(self):
+        from repro.bgp.aspath import ASPath
+        from repro.bgp.attributes import PathAttributes
+        from repro.bgp.route import RouteEntry
+        from repro.routing import wire
+
+        prefix = Prefix.from_string("10.0.0.0/24")
+        attributes = PathAttributes(as_path=ASPath.of(65_001))
+        states = [
+            (
+                prefix,
+                65_001,
+                attributes,
+                ((65_002, RouteEntry(prefix, attributes, 65_002, best=True)),),
+            ),
+            (Prefix.from_string("10.1.0.0/24"), 65_002, None, ()),
+        ]
+        return states, wire.encode_states(states)
+
+    def test_clean_blobs_pass(self):
+        _, blob = self.make_states_blob()
+        from repro.routing import wire
+
+        empty = wire.encode_events([])
+        check_submit(idle_pool(), 0, (0, None, wire.encode_additions({}), empty, blob))
+
+    def test_corrupt_blob_names_its_task_field(self):
+        blob = b"WS\xff\xff\xff\xff\xff"  # valid header, garbage tables
+        with pytest.raises(ProtocolViolationError, match="task field 4"):
+            check_submit(idle_pool(), 1, (0, None, (), (), blob))
+
+    def test_lossy_encoder_divergence_is_named(self, monkeypatch):
+        """A codec bug that drops a record is caught and pinpointed."""
+        from repro.routing import wire
+
+        states, blob = self.make_states_blob()
+        original = wire._write_states_body
+
+        def dropping_writer(encoder, payload):
+            original(encoder, payload[:-1])
+
+        monkeypatch.setattr(wire, "_write_states_body", dropping_writer)
+        with pytest.raises(ProtocolViolationError, match="record count 2 != 1"):
+            check_submit(idle_pool(), 0, (0, None, (), (), blob))
+
+    def test_field_perturbation_divergence_is_named(self, monkeypatch):
+        """A codec bug that corrupts one field is named down to the field."""
+        from repro.routing import wire
+
+        states, blob = self.make_states_blob()
+        original = wire._write_states_body
+
+        def perturbing_writer(encoder, payload):
+            prefix, asn, originated, adjacent = payload[0]
+            neighbor, entry = adjacent[0]
+            import dataclasses
+
+            twisted = dataclasses.replace(entry, learned_from=entry.learned_from + 1)
+            original(
+                encoder,
+                [(prefix, asn, originated, ((neighbor, twisted),))] + list(payload[1:]),
+            )
+
+        monkeypatch.setattr(wire, "_write_states_body", perturbing_writer)
+        with pytest.raises(
+            ProtocolViolationError, match=r"states\[0\].adjacent\[0\].entry.learned_from"
+        ):
+            check_submit(idle_pool(), 0, (0, None, (), (), blob))
+
+    def test_audit_leaves_ship_counters_untouched(self):
+        _, blob = self.make_states_blob()
+        pool = idle_pool()
+        before = (pool.tasks_dispatched, pool.ship_bytes, pool.shipped_state_entries)
+        check_submit(pool, 0, (0, None, (), (), blob))
+        assert (
+            pool.tasks_dispatched,
+            pool.ship_bytes,
+            pool.shipped_state_entries,
+        ) == before
+
+
 # ------------------------------------------------------------------ hook sites
 class TestHookWiring:
     def test_pool_hooks_inactive_without_flag(self, monkeypatch):

@@ -1,0 +1,327 @@
+"""Compact wire codec: property-style round trips and format framing.
+
+The codec's contract is *lossless canonical* encoding: ``decode(encode(x))
+== x`` (and hash-equal, since every payload object is frozen), and the
+encoding itself is byte-stable — ``encode(decode(blob)) == blob`` — which
+is the invariant the ``REPRO_SANITIZE=1`` submit audit leans on.  The
+generators below bias toward the protocol's edges: AS0 origins, 32-bit
+MED/LOCAL_PREF bounds, the per-update community ceiling, empty vs
+``None`` export scopes, and large-community tuples in arbitrary order.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bgp.aspath import ASPath, ASPathSegment, SegmentType
+from repro.bgp.attributes import MAX_COMMUNITIES_PER_UPDATE, Origin, PathAttributes
+from repro.bgp.community import Community, CommunitySet, LargeCommunity
+from repro.bgp.prefix import Prefix
+from repro.bgp.route import RouteEntry
+from repro.exceptions import WireError
+from repro.routing import wire
+from repro.routing.engine import BgpSimulator, RoutingEvent
+from repro.routing.wire import AttributeInterner
+from repro.topology.generator import TopologyGenerator, TopologyParameters
+
+
+# ------------------------------------------------------------- generators
+def random_prefix(rng: random.Random) -> Prefix:
+    length = rng.randint(8, 32)
+    network = rng.getrandbits(32) & (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+    return Prefix.ipv4(network, length)
+
+
+def random_path(rng: random.Random) -> ASPath:
+    segments = []
+    for _ in range(rng.randint(1, 3)):
+        segment_type = rng.choice((SegmentType.AS_SEQUENCE, SegmentType.AS_SET))
+        # AS0 and 32-bit ASNs are legal on this wire (spoofed origins).
+        asns = tuple(
+            rng.choice((0, rng.randint(1, 64_511), 0xFFFFFFFF))
+            for _ in range(rng.randint(1, 4))
+        )
+        segments.append(ASPathSegment(segment_type, asns))
+    return ASPath(segments)
+
+
+def random_cset(rng: random.Random) -> CommunitySet:
+    return CommunitySet(
+        Community(rng.randint(0, 0xFFFF), rng.randint(0, 0xFFFF))
+        for _ in range(rng.randint(0, 6))
+    )
+
+
+def random_lset(rng: random.Random) -> "tuple[LargeCommunity, ...]":
+    # Duplicates and arbitrary order are preserved: lsets are tuples,
+    # not sets, on this wire.
+    pool = [
+        LargeCommunity(rng.choice((0, 0xFFFFFFFF, rng.getrandbits(32))), rng.getrandbits(32), rng.getrandbits(32))
+        for _ in range(rng.randint(0, 3))
+    ]
+    return tuple(pool + pool[:1])
+
+
+def random_attributes(rng: random.Random) -> PathAttributes:
+    return PathAttributes(
+        as_path=random_path(rng),
+        origin=rng.choice(tuple(Origin)),
+        next_hop=rng.getrandbits(32),
+        med=rng.choice((None, 0, 0xFFFFFFFF, rng.getrandbits(32))),
+        local_pref=rng.choice((None, 0, 0xFFFFFFFF, rng.getrandbits(32))),
+        communities=random_cset(rng),
+        large_communities=random_lset(rng),
+        atomic_aggregate=rng.random() < 0.25,
+    )
+
+
+def random_entry(rng: random.Random, prefix: Prefix) -> RouteEntry:
+    announce_only_to = rng.choice(
+        (
+            None,  # unrestricted export
+            frozenset(),  # restricted to nobody — distinct from None!
+            frozenset(rng.randint(1, 70_000) for _ in range(rng.randint(1, 4))),
+        )
+    )
+    return RouteEntry(
+        # Half the entries reuse the state's own prefix (the codec
+        # elides those); the rest carry a foreign one (aggregates).
+        prefix=prefix if rng.random() < 0.5 else random_prefix(rng),
+        attributes=random_attributes(rng),
+        learned_from=rng.choice((0, rng.randint(1, 70_000))),
+        best=rng.random() < 0.5,
+        blackholed=rng.random() < 0.2,
+        rejected=rng.random() < 0.2,
+        rejection_reason=rng.choice((None, "loop", "policy: peerlock §4.2")),
+        export_prepend=rng.choice((0, rng.randint(1, 16))),
+        suppress_to=frozenset(
+            rng.randint(1, 70_000) for _ in range(rng.randint(0, 3))
+        ),
+        announce_only_to=announce_only_to,
+    )
+
+
+def random_states(rng: random.Random, count: int) -> list[tuple]:
+    states = []
+    for _ in range(count):
+        prefix = random_prefix(rng)
+        originated = None if rng.random() < 0.5 else random_attributes(rng)
+        adjacent = tuple(
+            (rng.randint(0, 70_000), random_entry(rng, prefix))
+            for _ in range(rng.randint(0, 4))
+        )
+        states.append((prefix, rng.randint(1, 70_000), originated, adjacent))
+    return states
+
+
+def random_events(rng: random.Random, count: int) -> list[RoutingEvent]:
+    return [
+        RoutingEvent(
+            origin_asn=rng.choice((0, rng.randint(1, 70_000))),
+            prefix=random_prefix(rng),
+            withdraw=rng.random() < 0.3,
+            communities=rng.choice((None, random_cset(rng))),
+            spoofed_origin_asn=rng.choice((None, 0, rng.randint(1, 70_000))),
+        )
+        for _ in range(count)
+    ]
+
+
+# ------------------------------------------------------------ round trips
+class TestRoundTrips:
+    def test_states_round_trip_equal_and_hash_equal(self):
+        rng = random.Random(42)
+        states = random_states(rng, 60)
+        decoded = wire.decode_states(wire.encode_states(states))
+        assert decoded == states
+        for (_, _, originated, adjacent), (_, _, d_orig, d_adj) in zip(states, decoded):
+            if originated is not None:
+                assert hash(d_orig) == hash(originated)  # repro: noqa[RPR001]: same-process hash-equality assertion — interned decode must be usable as a dict/set key in this very process, no cross-process placement involved
+            for (_, entry), (_, d_entry) in zip(adjacent, d_adj):
+                assert hash(d_entry) == hash(entry)  # repro: noqa[RPR001]: same-process hash-equality assertion — interned decode must be usable as a dict/set key in this very process, no cross-process placement involved
+                assert hash(d_entry.attributes) == hash(entry.attributes)  # repro: noqa[RPR001]: same-process hash-equality assertion — interned decode must be usable as a dict/set key in this very process, no cross-process placement involved
+
+    def test_states_encoding_is_canonical(self):
+        rng = random.Random(43)
+        blob = wire.encode_states(random_states(rng, 40))
+        assert wire.encode_states(wire.decode_states(blob)) == blob
+
+    def test_events_round_trip_with_as0_and_spoofed_origins(self):
+        rng = random.Random(44)
+        events = random_events(rng, 80)
+        events.append(RoutingEvent(origin_asn=0, prefix=Prefix.from_string("10.0.0.0/8")))
+        events.append(
+            RoutingEvent(
+                origin_asn=65_000,
+                prefix=Prefix.from_string("10.1.0.0/16"),
+                spoofed_origin_asn=0,
+            )
+        )
+        decoded = wire.decode_events(wire.encode_events(events))
+        assert decoded == events
+        assert [hash(event) for event in decoded] == [hash(event) for event in events]  # repro: noqa[RPR001]: same-process hash-equality assertion — interned decode must be usable as a dict/set key in this very process, no cross-process placement involved
+
+    def test_med_and_local_pref_32bit_bounds(self):
+        for bound in (0, 0xFFFFFFFF):
+            attributes = PathAttributes(
+                as_path=ASPath.of(65_001), med=bound, local_pref=bound
+            )
+            states = [
+                (
+                    Prefix.from_string("10.0.0.0/24"),
+                    65_001,
+                    attributes,
+                    ((65_002, RouteEntry(Prefix.from_string("10.0.0.0/24"), attributes, 65_002)),),
+                )
+            ]
+            decoded = wire.decode_states(wire.encode_states(states))
+            assert decoded[0][2].med == bound
+            assert decoded[0][2].local_pref == bound
+
+    def test_max_communities_per_update_round_trips(self):
+        full = CommunitySet(
+            Community(asn, value)
+            for asn in range(MAX_COMMUNITIES_PER_UPDATE // 256)
+            for value in range(256)
+        )
+        assert len(full) == MAX_COMMUNITIES_PER_UPDATE
+        additions = {65_001: {65_002: full}}
+        decoded = wire.decode_additions(wire.encode_additions(additions))
+        assert decoded == additions
+        assert hash(decoded[65_001][65_002]) == hash(full)  # repro: noqa[RPR001]: same-process hash-equality assertion — interned decode must be usable as a dict/set key in this very process, no cross-process placement involved
+
+    def test_empty_vs_none_announce_only_to_survive(self):
+        prefix = Prefix.from_string("10.0.0.0/24")
+        attributes = PathAttributes(as_path=ASPath.of(65_001))
+        entries = [
+            RouteEntry(prefix, attributes, 65_001, announce_only_to=None),
+            RouteEntry(prefix, attributes, 65_001, announce_only_to=frozenset()),
+            RouteEntry(prefix, attributes, 65_001, announce_only_to=frozenset({65_002})),
+        ]
+        states = [(prefix, 65_001, None, tuple((65_009, e) for e in entries))]
+        decoded = wire.decode_states(wire.encode_states(states))
+        got = [entry.announce_only_to for _, entry in decoded[0][3]]
+        assert got == [None, frozenset(), frozenset({65_002})]
+
+    def test_large_community_order_and_duplicates_survive(self):
+        rng = random.Random(45)
+        for _ in range(20):
+            lset = random_lset(rng)
+            attributes = PathAttributes(
+                as_path=ASPath.of(65_001), large_communities=lset
+            )
+            prefix = Prefix.from_string("10.0.0.0/24")
+            states = [(prefix, 65_001, attributes, ())]
+            decoded = wire.decode_states(wire.encode_states(states))
+            assert decoded[0][2].large_communities == lset
+
+    def test_additions_items_observations_round_trip(self):
+        rng = random.Random(46)
+        additions = {
+            rng.randint(1, 70_000): {
+                rng.randint(1, 70_000): random_cset(rng) for _ in range(rng.randint(1, 3))
+            }
+            for _ in range(10)
+        }
+        assert wire.decode_additions(wire.encode_additions(additions)) == additions
+        items = [
+            (index, "ris", f"rrc{index:02d}", rng.randint(1, 70_000), rng.randint(1, 70_000))
+            for index in range(12)
+        ]
+        assert wire.decode_items(wire.encode_items(items)) == items
+        groups = [
+            (
+                index,
+                [
+                    (random_prefix(rng), tuple(random_path(rng).asns()), random_cset(rng))
+                    for _ in range(rng.randint(0, 4))
+                ],
+            )
+            for index in range(8)
+        ]
+        assert wire.decode_observations(wire.encode_observations(groups)) == groups
+
+    def test_decoding_interns_shared_attributes(self):
+        prefix = Prefix.from_string("10.0.0.0/24")
+        attributes = PathAttributes(as_path=ASPath.of(65_001, 65_002))
+        states = [
+            (prefix, 65_001, attributes, ((65_003, RouteEntry(prefix, attributes, 65_003)),)),
+            (Prefix.from_string("10.1.0.0/24"), 65_002, attributes, ()),
+        ]
+        interner = AttributeInterner()
+        first = wire.decode_states(wire.encode_states(states), interner)
+        second = wire.decode_states(wire.encode_states(states), interner)
+        assert first[0][2] is first[0][3][0][1].attributes  # within one blob
+        assert first[0][2] is first[1][2]
+        assert first[0][2] is second[0][2]  # across blobs, same interner
+
+
+# ------------------------------------------------------------ format/framing
+class TestFraming:
+    def test_compact_blobs_carry_format_and_kind_bytes(self):
+        blob = wire.encode_states([])
+        assert blob[0] == ord("W")
+        assert blob[1] == ord("S")
+
+    def test_pickle_mode_frames_and_interoperates(self, monkeypatch):
+        rng = random.Random(47)
+        states = random_states(rng, 10)
+        monkeypatch.setenv(wire.WIRE_ENV, "pickle")
+        assert wire.wire_format() == "pickle"
+        blob = wire.encode_states(states)
+        assert blob[0] == ord("P")
+        # Decoders dispatch on the format byte, not the env var.
+        monkeypatch.delenv(wire.WIRE_ENV)
+        assert wire.decode_states(blob) == states
+
+    def test_wrong_kind_truncation_and_bad_format_raise_wire_error(self):
+        with pytest.raises(WireError):
+            wire.decode_events(wire.encode_states([]))
+        with pytest.raises(WireError):
+            wire.decode_states(b"W")
+        with pytest.raises(WireError):
+            wire.decode_states(bytes((0x7A, wire.KIND_STATES)))
+        with pytest.raises(WireError):
+            wire.decode_states(b"WS\x01")  # tables truncated mid-stream
+
+    def test_audit_blob_clean_and_garbage(self):
+        rng = random.Random(48)
+        assert wire.audit_blob(wire.encode_states(random_states(rng, 20))) is None
+        assert wire.audit_blob(wire.encode_events(random_events(rng, 20))) is None
+        assert wire.audit_blob(b"") is not None
+        assert wire.audit_blob(b"WS\xff\xff\xff") is not None
+
+
+# ----------------------------------------------- pickle-mode shard equivalence
+class TestPickleModeEquivalence:
+    def test_sharded_matches_sequential_under_pickle_wire(self, monkeypatch):
+        """The baseline framing drives the same byte-identical merge."""
+        monkeypatch.setenv(wire.WIRE_ENV, "pickle")
+        parameters = TopologyParameters(
+            tier1_count=2, transit_count=4, stub_count=10, ixp_count=0, seed=11
+        )
+        topology = TopologyGenerator(parameters).generate()
+        ases = sorted(asys.asn for asys in topology)
+        base = Prefix.from_string("10.0.0.0/8").network
+        events = [
+            RoutingEvent(
+                origin_asn=ases[index % len(ases)],
+                prefix=Prefix.ipv4(base + (index << 8), 24),
+            )
+            for index in range(48)
+        ]
+        sequential = BgpSimulator(topology)
+        sequential.apply(events)
+        sharded = BgpSimulator(topology, shards=2, max_workers=2)
+        try:
+            sharded.apply(events)
+            for asn, router in sequential.routers.items():
+                twin = sharded.routers[asn]
+                assert sorted(router.loc_rib.prefixes()) == sorted(twin.loc_rib.prefixes())
+                for prefix in router.loc_rib.prefixes():
+                    assert router.loc_rib.best(prefix) == twin.loc_rib.best(prefix)
+            assert sequential.report.dirty == sharded.report.dirty
+        finally:
+            sharded.close()
