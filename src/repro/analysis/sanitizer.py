@@ -72,16 +72,48 @@ _SLOT_EPOCHS: "weakref.WeakKeyDictionary[ShardPool, dict[int, int]]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Shadow record of the lowest epoch at which each pool was last adopted
+#: by a new simulator (:meth:`ShardPool.adopt`).  From that epoch on, a
+#: slot the sanitizer has *never seen* still must ship config with its
+#: first header: the worker may be resident with the previous owner's
+#: policies, and the usual "enabled mid-run" leniency would let a stale
+#: configuration converge silently.
+_ADOPTION_FLOORS: "weakref.WeakKeyDictionary[ShardPool, int]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def check_adopt(pool: "ShardPool", previous_epoch: int) -> None:
+    """Validate one :meth:`ShardPool.adopt` re-home and record its floor."""
+    if pool.epoch <= previous_epoch:
+        raise ProtocolViolationError(
+            f"pool adoption left the epoch at {pool.epoch} (was "
+            f"{previous_epoch}): re-homing must advance the epoch or "
+            "resident workers keep converging the previous owner's state"
+        )
+    from repro.routing import shard as shard_module
+
+    token = pool._snapshot_token
+    if token is not None and token not in shard_module._SNAPSHOT_REGISTRY:
+        raise ProtocolViolationError(
+            f"pool adoption parked snapshot token {token} but the registry "
+            "has no such entry: lazily-started slots would crash in their "
+            "initializer"
+        )
+    _ADOPTION_FLOORS[pool] = pool.epoch  # repro: noqa[RPR011,RPR032]: parent-process-only shadow map — adopt runs before dispatch, never inside a worker (reachability is the bare-name '.withdraw' call-graph over-approximation)
+
 
 def check_sync_header(
-    pool: "ShardPool", slot: int, epoch: int, config: "dict[int, tuple] | None"
+    pool: "ShardPool", slot: int, epoch: int, config: "bytes | None"
 ) -> None:
     """Validate one ``sync_header`` result for ``slot`` and record it.
 
     A slot never seen before is accepted as-is (the sanitizer may have
     been enabled mid-run, after the slot was already synced), which is
     why the config-completeness check fires only on an epoch *advance*
-    the sanitizer witnessed.
+    the sanitizer witnessed — unless the pool was adopted by a new
+    simulator, after which even a never-seen slot must ship config with
+    its first header on the post-adoption epoch.
     """
     shadow = _SLOT_EPOCHS.get(pool)  # repro: noqa[RPR032]: parent-process-only shadow map; workers never import the sanitizer (reachability is the bare-name '.withdraw' call-graph over-approximation)
     if shadow is None:
@@ -108,10 +140,21 @@ def check_sync_header(
                 "re-ship the configuration or the worker converges under "
                 "stale policies"
             )
-    if config is not None and not isinstance(config, dict):
+    else:
+        floor = _ADOPTION_FLOORS.get(pool)  # repro: noqa[RPR032]: parent-process-only shadow map; workers never import the sanitizer (reachability is the bare-name '.withdraw' call-graph over-approximation)
+        if floor is not None and epoch >= floor and config is None:
+            raise ProtocolViolationError(
+                f"slot {slot} issued its first observed header on epoch "
+                f"{epoch} with no router-config payload, but the pool was "
+                f"adopted at epoch {floor}: an adopted pool's workers may "
+                "be resident with the previous owner's policies, so every "
+                "slot's first post-adoption task must re-ship the "
+                "configuration"
+            )
+    if config is not None and not isinstance(config, (bytes, bytearray)):
         raise ProtocolViolationError(
-            f"sync header config payload must be a dict[int, tuple] or None, "
-            f"got {type(config).__name__}"
+            f"sync header config payload must be an encode_config wire blob "
+            f"(bytes) or None, got {type(config).__name__}"
         )
     shadow[slot] = epoch
 
@@ -130,10 +173,10 @@ def check_submit(pool: "ShardPool", slot: int, task: object) -> None:
             f"task submitted to slot {slot} carries epoch {epoch} but the pool "
             f"is on epoch {pool.epoch}: the header and the dispatch must agree"
         )
-    if config is not None and not isinstance(config, dict):
+    if config is not None and not isinstance(config, (bytes, bytearray)):
         raise ProtocolViolationError(
-            f"task config payload must be a dict[int, tuple] or None, got "
-            f"{type(config).__name__}"
+            f"task config payload must be an encode_config wire blob (bytes) "
+            f"or None, got {type(config).__name__}"
         )
     shadow = _SLOT_EPOCHS.get(pool)
     if shadow is not None and slot in shadow and shadow[slot] != epoch:

@@ -114,6 +114,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{args.experiment!r} (from {token!r}); known: "
                 f"{', '.join(sorted(known)) or 'none'}"
             )
+    if getattr(args, "residency", None) is not None:
+        params.setdefault("residency", args.residency)
     try:
         spec = experiment_cls.default_spec(seed=args.seed, scale=args.scale, **params)
         experiment = experiment_cls(spec)
@@ -229,16 +231,21 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if args.preseed:
             simulator.announce_originated()
         window = args.window if args.window is not None else DEFAULT_WINDOW
-        service = SimulatorService(simulator, window=window)
+        service = SimulatorService(simulator, window=window, residency=args.residency)
         try:
-            if args.events == "-":
-                for event in read_event_stream(sys.stdin):
-                    service.feed(event)
-            else:
-                with open(args.events, "r", encoding="utf-8") as handle:
-                    for event in read_event_stream(handle):
+            # The context manager scopes the --residency provider over
+            # the whole session (and drains the buffer on clean exit,
+            # though the explicit drain below keeps the error handling
+            # in one place).
+            with service:
+                if args.events == "-":
+                    for event in read_event_stream(sys.stdin):
                         service.feed(event)
-            service.drain()
+                else:
+                    with open(args.events, "r", encoding="utf-8") as handle:
+                        for event in read_event_stream(handle):
+                            service.feed(event)
+                service.drain()
         except (RoutingError, OSError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -305,6 +312,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="experiment parameter override (repeatable; value parsed as JSON)",
+    )
+    run.add_argument(
+        "--residency",
+        choices=["auto", "pinned", "none"],
+        default=None,
+        help="shard-pool residency policy scoped over the run "
+        "(shorthand for --param residency=...)",
     )
     run.add_argument("--json", action="store_true", help="print the serializable result")
     run.add_argument(
@@ -389,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K",
         help="propagation shard policy for the convergence batches (or 'auto')",
+    )
+    stream.add_argument(
+        "--residency",
+        choices=["auto", "pinned", "none"],
+        default=None,
+        help="shard-pool residency policy scoped over the stream session",
     )
     stream.add_argument(
         "--preseed",

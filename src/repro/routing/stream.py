@@ -98,6 +98,7 @@ class SimulatorService:
         simulator: "BgpSimulator",
         window: int = DEFAULT_WINDOW,
         shards: int | str | None = None,
+        residency: str | None = None,
     ):
         if window < 1:
             raise RoutingError(f"stream window must be >= 1, got {window}")
@@ -105,8 +106,14 @@ class SimulatorService:
         self.window = window
         #: Per-drain shard policy override (None: the simulator's own).
         self.shards = shards
+        #: Residency policy scoped over the service's context-manager
+        #: lifetime (None: whatever provider is already active).  A
+        #: long-running stream daemon under ``"auto"``/``"pinned"`` keeps
+        #: its workers warm across simulator close/re-acquire cycles.
+        self.residency = residency
         self.stats = StreamStats()
         self._pending: dict[tuple[int, Prefix], RoutingEvent] = {}
+        self._residency_scope = None
 
     def pending_events(self) -> list[RoutingEvent]:
         """The currently buffered (already coalesced) events, in order."""
@@ -149,11 +156,21 @@ class SimulatorService:
         return report
 
     def __enter__(self) -> "SimulatorService":
+        if self.residency is not None:
+            from repro.routing.residency import residency_scope
+
+            self._residency_scope = residency_scope(self.residency)
+            self._residency_scope.__enter__()
         return self
 
     def __exit__(self, exc_type, _exc, _tb) -> None:
-        if exc_type is None:
-            self.drain()
+        try:
+            if exc_type is None:
+                self.drain()
+        finally:
+            scope, self._residency_scope = self._residency_scope, None
+            if scope is not None:
+                scope.__exit__(exc_type, _exc, _tb)
 
 
 # ------------------------------------------------------------------ wire format

@@ -59,6 +59,11 @@ def idle_pool(workers=2):
 
 GOOD_TASK = (0, None, (), (), ())
 
+#: A well-formed (empty) router-config wire blob for envelope tests.
+from repro.routing import wire as _wire
+
+EMPTY_CONFIG_BLOB = _wire.encode_config({})
+
 
 # ------------------------------------------------------------------ unit: env
 class TestEnabled:
@@ -91,7 +96,7 @@ class TestCheckSyncHeader:
         pool = idle_pool()
         check_sync_header(pool, 0, 0, None)
         pool.bump_epoch()
-        check_sync_header(pool, 0, 1, {})
+        check_sync_header(pool, 0, 1, EMPTY_CONFIG_BLOB)
         pool.epoch = 0  # simulate a buggy pool rolling the generation back
         with pytest.raises(ProtocolViolationError, match="regressed"):
             check_sync_header(pool, 0, 0, None)
@@ -109,10 +114,53 @@ class TestCheckSyncHeader:
         pool.bump_epoch()
         check_sync_header(pool, 1, 1, None)
 
-    def test_config_payload_must_be_mapping(self):
+    def test_config_payload_must_be_wire_blob(self):
         pool = idle_pool()
-        with pytest.raises(ProtocolViolationError, match="dict"):
-            check_sync_header(pool, 0, 0, [(65001, ())])
+        with pytest.raises(ProtocolViolationError, match="bytes"):
+            check_sync_header(pool, 0, 0, {65001: ()})
+
+
+# ------------------------------------------------------------- unit: adoption
+class TestCheckAdopt:
+    def test_adopt_records_floor_and_requires_config_on_unseen_slots(self):
+        """After adoption even a never-seen slot must ship config first."""
+        from repro.analysis.sanitizer import check_adopt
+
+        pool = idle_pool()
+        previous = pool.epoch
+        pool.bump_epoch()  # what adopt() does (idle pool: no snapshot to park)
+        check_adopt(pool, previous)
+        with pytest.raises(ProtocolViolationError, match="adopted at epoch"):
+            check_sync_header(pool, 1, pool.epoch, None)
+        # Shipping the config blob satisfies the post-adoption gate.
+        check_sync_header(pool, 1, pool.epoch, EMPTY_CONFIG_BLOB)
+        # ... and the slot is ordinary from then on.
+        check_sync_header(pool, 1, pool.epoch, None)
+
+    def test_adopt_must_advance_epoch(self):
+        from repro.analysis.sanitizer import check_adopt
+
+        pool = idle_pool()
+        with pytest.raises(ProtocolViolationError, match="advance"):
+            check_adopt(pool, pool.epoch)
+
+    def test_adopt_hook_fires_through_the_pool(self, monkeypatch):
+        """ShardPool.adopt calls check_adopt under the env flag."""
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        from repro.analysis import sanitizer
+
+        topology = small_topology()
+        simulator = BgpSimulator(topology)
+        from repro.routing.shard import capture_router_config
+
+        pool = ShardPool(
+            (topology, capture_router_config(simulator)), workers=2, shards=4
+        )
+        try:
+            pool.adopt((topology, capture_router_config(simulator)))
+            assert sanitizer._ADOPTION_FLOORS[pool] == pool.epoch == 1
+        finally:
+            pool.shutdown()
 
 
 # ------------------------------------------------------------- unit: dispatch
@@ -120,7 +168,7 @@ class TestCheckSubmit:
     def test_well_formed_envelopes_pass(self):
         pool = idle_pool()
         check_submit(pool, 0, GOOD_TASK)
-        check_submit(pool, 0, (0, {}, (), (), (), 123.0))  # harvest shape
+        check_submit(pool, 0, (0, EMPTY_CONFIG_BLOB, (), (), (), 123.0))  # harvest shape
 
     @pytest.mark.parametrize("task", ["nope", (0, None), (0,) * 7, None])
     def test_malformed_envelope_rejected(self, task):
@@ -132,9 +180,9 @@ class TestCheckSubmit:
         with pytest.raises(ProtocolViolationError, match="agree"):
             check_submit(pool, 0, (5, None, (), (), ()))
 
-    def test_config_slot_must_be_mapping_or_none(self):
-        with pytest.raises(ProtocolViolationError, match="dict"):
-            check_submit(idle_pool(), 0, (0, [(65001, ())], (), (), ()))
+    def test_config_slot_must_be_wire_blob_or_none(self):
+        with pytest.raises(ProtocolViolationError, match="bytes"):
+            check_submit(idle_pool(), 0, (0, {65001: ()}, (), (), ()))
 
     def test_dispatch_on_stale_header_rejected(self):
         """A bump between sync_header and submit is a protocol break."""
@@ -142,7 +190,7 @@ class TestCheckSubmit:
         check_sync_header(pool, 0, 0, None)
         pool.bump_epoch()
         with pytest.raises(ProtocolViolationError, match="sync_header"):
-            check_submit(pool, 0, (1, {}, (), (), ()))
+            check_submit(pool, 0, (1, EMPTY_CONFIG_BLOB, (), (), ()))
 
 
 class TestCodecAudit:
